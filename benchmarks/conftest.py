@@ -1,0 +1,61 @@
+"""Shared configuration for the benchmark suite.
+
+Every figure of the paper has a benchmark module here.  Sizes are the
+paper's workloads scaled volumetrically by ``REPRO_BENCH_SCALE`` (default
+0.004 — a few million tensor entries, seconds per module on one core; set
+it to 1.0 on a machine with ~8 GiB free and many cores to run paper-scale).
+
+Thread counts default to (1, 2) so the parallel code paths are exercised
+even on a single-core container; set ``REPRO_BENCH_THREADS=1,2,4,8,12`` on
+real hardware.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.tensor.generate import random_factors, random_tensor
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.004"))
+
+
+def bench_threads() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_THREADS", "1,2")
+    return tuple(int(x) for x in raw.split(","))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+_tensor_cache: dict = {}
+
+
+def cached_problem(shape: tuple[int, ...], rank: int, seed: int = 0):
+    """Tensor+factors cache shared across benchmarks in one session."""
+    key = (shape, rank, seed)
+    if key not in _tensor_cache:
+        X = random_tensor(shape, rng=seed)
+        U = random_factors(shape, rank, rng=seed + 1)
+        _tensor_cache[key] = (X, U)
+    return _tensor_cache[key]
+
+
+def record_paper_context(benchmark, **info) -> None:
+    """Attach experiment metadata to the pytest-benchmark record."""
+    benchmark.extra_info.update(info)
+
+
+# Silence benchmark warnings about calibration on very fast kernels.
+def pytest_benchmark_update_machine_info(config, machine_info):
+    machine_info["repro_bench_scale"] = bench_scale()
+    machine_info["repro_bench_threads"] = list(bench_threads())
+
+
+np.random.seed(0)  # some libraries consult the legacy global state

@@ -1,0 +1,66 @@
+"""Figure 4: Khatri-Rao product — Reuse (Alg. 1) vs Naive vs STREAM.
+
+Paper protocol: Z in {2,3,4} input matrices with equal row dims whose
+product is ~2e7, C in {25,50} columns, times over 1..12 threads; claims:
+reuse beats naive by 1.5-2.5x (Z>=3), KRP runs at ~STREAM bandwidth, and
+parallel speedup is 6.6-8.3x at 12 threads.
+
+Run: ``pytest benchmarks/test_fig4_krp.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_scale, bench_threads, record_paper_context
+from repro.bench.stream import stream_buffers, stream_scale
+from repro.core.krp_parallel import khatri_rao_parallel
+from repro.data.workloads import FIG4_WORKLOADS
+from repro.util import prod
+
+_THREADS = bench_threads()
+
+
+def _materials(wl):
+    dims = wl.dims(bench_scale())
+    rng = np.random.default_rng(0)
+    mats = [rng.random((d, wl.C)) for d in dims]
+    out = np.empty((prod(dims), wl.C))
+    return mats, out
+
+
+@pytest.mark.parametrize("wl", FIG4_WORKLOADS, ids=lambda w: f"Z{w.Z}-C{w.C}")
+@pytest.mark.parametrize("threads", _THREADS, ids=lambda t: f"T{t}")
+@pytest.mark.parametrize("schedule", ["reuse", "naive"])
+def test_fig4_krp(benchmark, wl, threads, schedule):
+    mats, out = _materials(wl)
+    record_paper_context(
+        benchmark,
+        figure="fig4",
+        series=f"{wl.Z}-{schedule.capitalize()}",
+        Z=wl.Z,
+        C=wl.C,
+        threads=threads,
+        output_rows=out.shape[0],
+    )
+    benchmark(
+        khatri_rao_parallel,
+        mats,
+        num_threads=threads,
+        out=out,
+        schedule=schedule,
+    )
+
+
+@pytest.mark.parametrize(
+    "C", sorted({w.C for w in FIG4_WORKLOADS}), ids=lambda c: f"C{c}"
+)
+@pytest.mark.parametrize("threads", _THREADS, ids=lambda t: f"T{t}")
+def test_fig4_stream_reference(benchmark, C, threads):
+    rows = max(int(2e7 * bench_scale()), 4)
+    src, dst = stream_buffers(rows * C)
+    record_paper_context(
+        benchmark, figure="fig4", series="STREAM", C=C, threads=threads
+    )
+    benchmark(stream_scale, src, dst, num_threads=threads)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Anomaly detection with CP residuals (the introduction's application).
+
+The paper's introduction motivates CP "in anomaly detection (identifying
+data points that are not explained by the model)".  Workflow:
+
+1. generate a connectivity tensor with planted structure;
+2. corrupt a few *subjects* (e.g. motion artifacts in their scans);
+3. fit a low-rank CP model to the corrupted data;
+4. score each subject by the relative residual of its slice and flag
+   robust-z outliers.
+
+Run:  python examples/anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro.cpd.anomaly import anomaly_scores, detect_anomalies
+from repro.cpd.cp_als import cp_als
+from repro.data.fmri import synthetic_fmri
+from repro.tensor.dense import DenseTensor
+
+RANK = 3
+BAD_SUBJECTS = (2, 9)
+SUBJECT_MODE = 1
+
+
+def main() -> None:
+    data = synthetic_fmri(48, 14, 30, rank=RANK, snr_db=28.0, rng=0)
+    arr = data.tensor.to_ndarray().copy()
+    rng = np.random.default_rng(1)
+    # Corrupt two subjects with heavy, structure-free noise ("failed scans").
+    for s in BAD_SUBJECTS:
+        slab = arr[:, s]
+        noise = rng.standard_normal(slab.shape)
+        noise = 0.5 * (noise + np.swapaxes(noise, -1, -2))  # keep symmetry
+        arr[:, s] += 1.5 * np.linalg.norm(slab) / np.linalg.norm(noise) * noise
+    X = DenseTensor(arr)
+    print(f"connectivity tensor {X.shape}; subjects {BAD_SUBJECTS} corrupted\n")
+
+    res = cp_als(X, RANK, n_iter_max=120, tol=1e-9, rng=2)
+    print(f"CP-ALS fit on corrupted data: {res.final_fit:.4f}")
+
+    scores = anomaly_scores(X, res.model, SUBJECT_MODE)
+    print("\nsubject  anomaly score (robust z)")
+    for s, score in enumerate(scores):
+        marker = "  <-- flagged" if score > 3.5 else ""
+        print(f"{s:7d}  {score:12.2f}{marker}")
+
+    found = detect_anomalies(X, res.model, SUBJECT_MODE)
+    print(f"\ndetected: {sorted(found.tolist())}  (planted: {sorted(BAD_SUBJECTS)})")
+    assert set(found) == set(BAD_SUBJECTS), "detection missed a planted anomaly"
+    print("all planted anomalies recovered, no false positives")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Predicting missing entries with CP-WOPT (the introduction's application).
+
+The paper's introduction motivates CP with "predicting missing or future
+data" (Acar et al.).  This example:
+
+1. generates a synthetic connectivity tensor with planted structure;
+2. hides a large fraction of entries (as if some scan sessions failed);
+3. fits CP-WOPT to the observed entries only (every gradient is an
+   all-modes MTTKRP of the masked residual — the dimension tree applies);
+4. evaluates prediction quality on the *held-out* entries, across
+   observation fractions.
+
+Run:  python examples/missing_data.py
+"""
+
+import numpy as np
+
+from repro.cpd.diagnostics import factor_match_score
+from repro.cpd.missing import cp_wopt, random_mask
+from repro.data.fmri import synthetic_fmri
+
+RANK = 3
+
+
+def main() -> None:
+    data = synthetic_fmri(40, 10, 24, rank=RANK, snr_db=30.0, rng=0)
+    X = data.to_3way()
+    print(f"3-way connectivity tensor {X.shape}, planted rank {RANK}\n")
+    print(f"{'observed':>9}  {'obs fit':>8}  {'held-out rel err':>16}  "
+          f"{'FMS (time/subj)':>15}")
+
+    truth = data.ground_truth
+    sub_truth = type(truth)(
+        [truth.factors[0], truth.factors[1]], truth.weights
+    )
+
+    for frac in (0.8, 0.5, 0.3, 0.15, 0.05):
+        mask = random_mask(X.shape, frac, rng=1)
+        res = cp_wopt(X, mask, RANK, n_iter_max=500, rng=2)
+        rec = res.model.full()
+        held = mask.data == 0.0
+        rel_err = float(
+            np.linalg.norm(rec.data[held] - X.data[held])
+            / np.linalg.norm(X.data[held])
+        )
+        est = res.model
+        sub_est = type(est)([est.factors[0], est.factors[1]], est.weights)
+        fms = factor_match_score(sub_est, sub_truth, weight_penalty=False)
+        print(f"{frac:9.0%}  {res.fits[-1]:8.4f}  {rel_err:16.4f}  "
+              f"{fms:15.3f}")
+
+    print("\nreading the table: with a rank-3 model, even ~15% of entries "
+          "determine\nthe tensor — held-out error stays near the noise "
+          "floor until observations\nbecome too sparse to constrain the "
+          "factors.")
+
+
+if __name__ == "__main__":
+    main()

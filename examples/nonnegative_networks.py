@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Nonnegative network extraction + HOSVD compression on the fMRI tensor.
+
+Two extensions of the paper's application pipeline, both built on the same
+MTTKRP/TTM kernels:
+
+1. **Nonnegative CP (HALS)** — brain-network loadings, task activations
+   and subject expressions are all naturally nonnegative, so constraining
+   the model usually yields cleaner, more interpretable components than
+   unconstrained CP-ALS.  Compare recovery of the planted networks.
+2. **Compress-then-decompose (CANDELINC via ST-HOSVD)** — compress the
+   tensor to a small Tucker core first, run CP on the core, and expand.
+   For low-multilinear-rank data this gives near-identical models at a
+   fraction of the per-iteration cost.
+
+Run:  python examples/nonnegative_networks.py
+"""
+
+import numpy as np
+
+from repro.bench.timing import median_time
+from repro.cpd.cp_als import cp_als
+from repro.cpd.diagnostics import factor_match_score
+from repro.cpd.kruskal import KruskalTensor
+from repro.cpd.nncp import cp_nnhals
+from repro.cpd.tucker import hosvd
+from repro.data.fmri import synthetic_fmri
+
+RANK = 4
+
+
+def main() -> None:
+    data = synthetic_fmri(60, 16, 40, rank=RANK, snr_db=18.0, rng=0)
+    X = data.tensor
+    truth = data.ground_truth
+    print(f"fMRI tensor {X.shape}, planted rank {RANK}, 18 dB SNR\n")
+
+    # ------------------------------------------------------------------
+    # Unconstrained vs nonnegative CP.
+    # ------------------------------------------------------------------
+    als = cp_als(X, RANK, n_iter_max=150, tol=1e-9, rng=1)
+    nn = cp_nnhals(X, RANK, n_iter_max=150, tol=1e-9, rng=1)
+    fms_als = factor_match_score(als.model, truth, weight_penalty=False)
+    fms_nn = factor_match_score(nn.model, truth, weight_penalty=False)
+    print("model           fit      FMS vs truth   negative entries")
+    neg_als = sum(int((f < 0).sum()) for f in als.model.factors)
+    neg_nn = sum(int((f < 0).sum()) for f in nn.model.factors)
+    print(f"CP-ALS       {als.final_fit:7.4f}   {fms_als:10.3f}   {neg_als:10d}")
+    print(f"NN-HALS      {nn.final_fit:7.4f}   {fms_nn:10.3f}   {neg_nn:10d}")
+    print("(the planted networks are nonnegative: NN-HALS returns feasible,"
+          "\n sign-unambiguous components; its lower fit is expected — the"
+          "\n nonnegative model cannot absorb the signed noise that"
+          "\n unconstrained ALS fits)\n")
+
+    # ------------------------------------------------------------------
+    # Compress-then-decompose.
+    # ------------------------------------------------------------------
+    ranks = (RANK + 2, RANK + 2, RANK + 2, RANK + 2)
+    T = hosvd(X, ranks)
+    rel_err = float(
+        np.linalg.norm(T.full().data - X.data) / np.linalg.norm(X.data)
+    )
+    print(f"ST-HOSVD to core {T.ranks}: compression "
+          f"{T.compression_ratio():.0f}x, relative error {rel_err:.3f}")
+
+    t_full = median_time(
+        lambda: cp_als(X, RANK, n_iter_max=1, tol=0.0, rng=2), repeats=3
+    )
+    t_core = median_time(
+        lambda: cp_als(T.core, RANK, n_iter_max=1, tol=0.0, rng=2),
+        repeats=3,
+    )
+    res_core = cp_als(T.core, RANK, n_iter_max=150, tol=1e-10, rng=3)
+    expanded = KruskalTensor(
+        [f @ g for f, g in zip(T.factors, res_core.model.factors)],
+        res_core.model.weights,
+    )
+    fms_core = factor_match_score(expanded, truth, weight_penalty=False)
+    print(f"CP on full tensor: {t_full * 1e3:7.2f} ms/iter")
+    print(f"CP on Tucker core: {t_core * 1e3:7.2f} ms/iter "
+          f"({t_full / t_core:.0f}x faster)")
+    print(f"expanded-core model FMS vs truth: {fms_core:.3f} "
+          f"(vs {fms_als:.3f} on the full tensor)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Rank selection with multiple random starts — the workflow the paper's
+Section 3 motivates ("the need to discover the optimal rank ... and employ
+multiple random starts to ensure uniqueness, reliability, and
+reproducibility").
+
+For a synthetic connectivity tensor with a known planted rank, sweep
+candidate CP ranks, run several random starts per rank, and report fit
+statistics plus a stability score (pairwise factor match between starts).
+The planted rank shows up as the elbow of the fit curve combined with high
+cross-start stability.
+
+Run:  python examples/rank_selection.py
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.cpd.cp_als import cp_als
+from repro.cpd.diagnostics import factor_match_score
+from repro.data.fmri import synthetic_fmri
+
+TRUE_RANK = 3
+N_STARTS = 4
+CANDIDATES = (1, 2, 3, 4, 5)
+
+
+def main() -> None:
+    data = synthetic_fmri(40, 10, 24, rank=TRUE_RANK, snr_db=22.0, rng=0)
+    X = data.to_3way()
+    print(f"3-way connectivity tensor {X.shape}, planted rank {TRUE_RANK}\n")
+    print(f"{'rank':>4}  {'best fit':>9}  {'mean fit':>9}  "
+          f"{'stability':>9}")
+
+    best_by_rank = {}
+    for rank in CANDIDATES:
+        runs = [
+            cp_als(X, rank, n_iter_max=80, tol=1e-8, rng=100 + s)
+            for s in range(N_STARTS)
+        ]
+        fits = np.array([r.final_fit for r in runs])
+        # Stability: mean pairwise FMS across starts.  A rank that fits
+        # noise gives unstable components; the true rank is reproducible.
+        pairs = list(itertools.combinations(range(N_STARTS), 2))
+        stability = float(
+            np.mean(
+                [
+                    factor_match_score(
+                        runs[a].model, runs[b].model, weight_penalty=False
+                    )
+                    for a, b in pairs
+                ]
+            )
+        ) if pairs else 1.0
+        best_by_rank[rank] = runs[int(fits.argmax())]
+        print(f"{rank:>4}  {fits.max():9.4f}  {fits.mean():9.4f}  "
+              f"{stability:9.3f}")
+
+    # Recovery check at the planted rank.
+    truth3 = data.ground_truth  # 4-way truth; compare time/subject factors
+    est = best_by_rank[TRUE_RANK].model
+    sub_est = type(est)([est.factors[0], est.factors[1]], est.weights)
+    sub_truth = type(truth3)(
+        [truth3.factors[0], truth3.factors[1]], truth3.weights
+    )
+    fms = factor_match_score(sub_est, sub_truth, weight_penalty=False)
+    print(f"\ntime/subject factor recovery at rank {TRUE_RANK}: "
+          f"FMS={fms:.3f}")
+    print("expected pattern: fit rises until the planted rank, then "
+          "plateaus while stability drops — the classic rank-selection "
+          "signature.")
+
+
+if __name__ == "__main__":
+    main()

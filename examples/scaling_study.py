@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Thread-scaling study: measured on this host + modeled on the paper's
+machine.
+
+Part 1 measures the parallel KRP and parallel 1-step MTTKRP on this host
+over a range of thread counts (on a single-core container the numbers show
+the threading machinery's overhead rather than speedup — the code paths
+are identical either way).
+
+Part 2 evaluates the calibrated analytical model of the paper's 12-core
+Xeon at the paper's full workload sizes, printing the same series as
+Figures 4 and 5 along with the speedup bands the paper reports.
+
+Run:  python examples/scaling_study.py
+"""
+
+import os
+
+import numpy as np
+
+from repro.bench.timing import median_time
+from repro.core.dispatch import mttkrp
+from repro.core.krp_parallel import khatri_rao_parallel
+from repro.data.workloads import fig5_shape, krp_dims, scaled_shape
+from repro.machine.model import paper_machine
+from repro.machine.predict import predict_algorithm_time, predict_krp_time
+from repro.tensor.generate import random_factors, random_tensor
+from repro.util import prod
+
+
+def measured_part() -> None:
+    cores = os.cpu_count() or 1
+    threads = sorted({1, 2, 4, min(8, max(cores, 2))})
+    print(f"== measured on this host ({cores} core(s)) ==")
+
+    dims = krp_dims(3, 1_000_000)
+    rng = np.random.default_rng(0)
+    mats = [rng.random((d, 25)) for d in dims]
+    out = np.empty((prod(dims), 25))
+    print(f"\nparallel KRP, Z=3, {out.shape[0]} rows x 25:")
+    base = None
+    for T in threads:
+        t = median_time(
+            lambda: khatri_rao_parallel(mats, num_threads=T, out=out),
+            repeats=3,
+        )
+        base = base or t
+        print(f"  T={T:2d}: {t * 1e3:8.2f} ms  (speedup {base / t:4.2f}x)")
+
+    shape = scaled_shape(fig5_shape(4), 2_000_000 / prod(fig5_shape(4)))
+    X = random_tensor(shape, rng=1)
+    U = random_factors(shape, 25, rng=2)
+    print(f"\nparallel 1-step MTTKRP, shape {shape}, mode 1:")
+    base = None
+    for T in threads:
+        t = median_time(
+            lambda: mttkrp(X, U, 1, method="onestep", num_threads=T),
+            repeats=3,
+        )
+        base = base or t
+        print(f"  T={T:2d}: {t * 1e3:8.2f} ms  (speedup {base / t:4.2f}x)")
+
+
+def modeled_part() -> None:
+    m = paper_machine()
+    print(f"\n== modeled: {m.name}, paper-scale workloads ==")
+
+    print("\nKRP (Fig. 4 analog), J=2e7 rows, C=25:")
+    for Z in (2, 3, 4):
+        dims = krp_dims(Z)
+        t1 = predict_krp_time(m, dims, 25, 1)
+        t12 = predict_krp_time(m, dims, 25, 12)
+        print(f"  Z={Z}: {t1:5.2f}s -> {t12:5.2f}s at 12T "
+              f"(speedup {t1 / t12:4.1f}x; paper band 6.6-8.3x)")
+
+    print("\nMTTKRP (Fig. 5 analog), C=25, internal mode:")
+    for N in (3, 4, 5, 6):
+        shape = fig5_shape(N)
+        n = 1
+        rows = []
+        for algo in ("onestep", "twostep", "gemm-baseline"):
+            t1, _ = predict_algorithm_time(m, shape, n, 25, 1, algo)
+            t12, _ = predict_algorithm_time(m, shape, n, 25, 12, algo)
+            rows.append(f"{algo}: {t1:5.2f}/{t12:5.2f}s ({t1 / t12:4.1f}x)")
+        print(f"  N={N} ({shape[0]}^{N}): " + "   ".join(rows))
+    print("\npaper bands: 1-step speedup 8-12x, 2-step 6-8x, both 2-4.7x")
+    print("faster than the baseline at 12 threads for N > 3.")
+
+
+def main() -> None:
+    measured_part()
+    modeled_part()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments whose packaging stack predates PEP 660.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+legacy editable installs (``pip install -e . --no-use-pep517``) on offline
+hosts without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Benchmark harness: regenerates every figure of the paper's evaluation.
+
+* :mod:`~repro.bench.timing` — robust wall timing (median-of-k) and the
+  :class:`~repro.util.timing.PhaseTimer` re-export;
+* :mod:`~repro.bench.stream` — the STREAM scale benchmark of Figure 4;
+* :mod:`~repro.bench.harness` — measured experiment runners (KRP, MTTKRP,
+  CP-ALS) producing structured results;
+* :mod:`~repro.bench.figures` — per-figure drivers printing paper-style
+  tables for both the *measured* (host, reduced scale) and *modeled*
+  (paper machine, paper scale) variants.  Also a CLI:
+  ``python -m repro.bench.figures fig5 --scale 0.005``.
+"""
+
+from repro.bench.harness import (
+    CPALSPoint,
+    KRPPoint,
+    MTTKRPPoint,
+    run_cpals_point,
+    run_krp_point,
+    run_mttkrp_point,
+)
+from repro.bench.stream import stream_scale
+from repro.bench.timing import median_time, PhaseTimer
+
+__all__ = [
+    "median_time",
+    "PhaseTimer",
+    "stream_scale",
+    "KRPPoint",
+    "MTTKRPPoint",
+    "CPALSPoint",
+    "run_krp_point",
+    "run_mttkrp_point",
+    "run_cpals_point",
+]

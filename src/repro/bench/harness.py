@@ -1,0 +1,223 @@
+"""Measured experiment runners for the figure drivers.
+
+Each ``run_*_point`` function measures one point of one figure (a specific
+algorithm / workload / thread count) and returns a small result record; the
+figure drivers in :mod:`repro.bench.figures` assemble those into the
+paper's tables.  All runners accept preconstructed inputs where reuse
+matters so repeated timings measure the kernel, not setup.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.stream import stream_buffers, stream_scale
+from repro.bench.timing import mean_time, median_time
+from repro.core.dispatch import mttkrp
+from repro.core.krp_parallel import khatri_rao_parallel
+from repro.core.mttkrp_baseline import mttkrp_gemm_lower_bound
+from repro.cpd.cp_als import cp_als
+from repro.reference.tensor_toolbox import cp_als_ttb
+from repro.tensor.dense import DenseTensor
+from repro.tensor.generate import random_factors
+from repro.util import prod
+from repro.util.timing import PhaseTimer
+
+__all__ = [
+    "KRPPoint",
+    "MTTKRPPoint",
+    "CPALSPoint",
+    "run_krp_point",
+    "run_stream_point",
+    "run_mttkrp_point",
+    "run_cpals_point",
+]
+
+
+@dataclass(frozen=True)
+class KRPPoint:
+    """One measured Figure 4 point."""
+
+    schedule: str  # "reuse" | "naive" | "stream"
+    Z: int
+    C: int
+    rows: int
+    threads: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class MTTKRPPoint:
+    """One measured Figure 5/6/8 point."""
+
+    algorithm: str
+    shape: tuple[int, ...]
+    mode: int
+    C: int
+    threads: int
+    seconds: float
+    phases: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CPALSPoint:
+    """One measured Figure 7 point (per-iteration CP-ALS time)."""
+
+    implementation: str  # "repro" | "dimtree" | "ttb"
+    shape: tuple[int, ...]
+    rank: int
+    threads: int
+    seconds_per_iteration: float
+    final_fit: float
+
+
+def run_krp_point(
+    matrices: Sequence[np.ndarray],
+    threads: int,
+    schedule: str = "reuse",
+    repeats: int = 3,
+) -> KRPPoint:
+    """Measure one parallel-KRP configuration (Figure 4 protocol)."""
+    mats = [np.asarray(m) for m in matrices]
+    C = mats[0].shape[1]
+    rows = prod(m.shape[0] for m in mats)
+    out = np.empty((rows, C))
+
+    def kernel() -> None:
+        khatri_rao_parallel(mats, num_threads=threads, out=out, schedule=schedule)
+
+    seconds = mean_time(kernel, repeats=repeats)
+    return KRPPoint(
+        schedule=schedule,
+        Z=len(mats),
+        C=C,
+        rows=rows,
+        threads=threads,
+        seconds=seconds,
+    )
+
+
+def run_stream_point(entries: int, C: int, threads: int, repeats: int = 3) -> KRPPoint:
+    """Measure the STREAM scale kernel at the KRP output size."""
+    src, dst = stream_buffers(int(entries) * int(C))
+
+    def kernel() -> None:
+        stream_scale(src, dst, num_threads=threads)
+
+    seconds = mean_time(kernel, repeats=repeats)
+    return KRPPoint(
+        schedule="stream",
+        Z=0,
+        C=C,
+        rows=int(entries),
+        threads=threads,
+        seconds=seconds,
+    )
+
+
+def run_mttkrp_point(
+    tensor: DenseTensor,
+    factors: Sequence[np.ndarray],
+    mode: int,
+    algorithm: str,
+    threads: int,
+    repeats: int = 3,
+) -> MTTKRPPoint:
+    """Measure one MTTKRP configuration (Figure 5 protocol: median of k).
+
+    The phase breakdown of the *last* repetition is attached (Figure 6/8);
+    phases of warmup runs are discarded.
+    """
+    C = np.asarray(factors[0]).shape[1]
+    scratch: dict = {}
+
+    if algorithm == "gemm-baseline":
+
+        def kernel_warm() -> None:
+            mttkrp_gemm_lower_bound(
+                tensor, factors, mode, num_threads=threads, _scratch=scratch
+            )
+
+        seconds = median_time(kernel_warm, repeats=repeats)
+        timer = PhaseTimer()
+        mttkrp_gemm_lower_bound(
+            tensor, factors, mode, num_threads=threads,
+            timers=timer, _scratch=scratch,
+        )
+    else:
+
+        def kernel() -> None:
+            mttkrp(
+                tensor, factors, mode, method=algorithm, num_threads=threads
+            )
+
+        seconds = median_time(kernel, repeats=repeats)
+        timer = PhaseTimer()
+        mttkrp(
+            tensor, factors, mode, method=algorithm,
+            num_threads=threads, timers=timer,
+        )
+    return MTTKRPPoint(
+        algorithm=algorithm,
+        shape=tensor.shape,
+        mode=int(mode),
+        C=int(C),
+        threads=int(threads),
+        seconds=seconds,
+        phases=dict(timer.totals),
+    )
+
+
+def run_cpals_point(
+    tensor: DenseTensor,
+    rank: int,
+    implementation: str,
+    threads: int,
+    iterations: int = 3,
+    rng: int = 0,
+) -> CPALSPoint:
+    """Measure per-iteration CP-ALS time (Figure 7 protocol).
+
+    Both implementations get identical random initial factors so they do
+    identical arithmetic per iteration; ``tol=0``-style fixed iteration
+    counts make the per-iteration average well-defined.
+    """
+    init = random_factors(tensor.shape, rank, rng=rng)
+    if implementation in ("repro", "dimtree"):
+        res = cp_als(
+            tensor,
+            rank,
+            n_iter_max=iterations,
+            tol=0.0,
+            init=init,
+            num_threads=threads,
+            mode_strategy=(
+                "dimtree" if implementation == "dimtree" else "per-mode"
+            ),
+        )
+        per_iter = res.mean_iteration_time
+        fit = res.final_fit
+    elif implementation == "ttb":
+        res = cp_als_ttb(
+            tensor,
+            rank,
+            n_iter_max=iterations,
+            tol=0.0,
+            init=init,
+            num_threads=threads,
+        )
+        per_iter = res.mean_iteration_time
+        fit = res.final_fit
+    else:
+        raise ValueError(f"unknown implementation {implementation!r}")
+    return CPALSPoint(
+        implementation=implementation,
+        shape=tensor.shape,
+        rank=int(rank),
+        threads=int(threads),
+        seconds_per_iteration=per_iter,
+        final_fit=fit,
+    )

@@ -1,0 +1,166 @@
+"""Terminal line charts for the figure drivers.
+
+The paper's figures are line charts (time vs threads) and stacked bars
+(phase breakdowns).  This module renders both as plain-text axes so
+``python -m repro.bench.figures <fig> --plot`` shows the *shape* of each
+figure directly in the terminal — who is above whom, where curves flatten,
+where they cross — without any plotting dependency.
+
+The renderer is deliberately simple: monotone x values, linear y axis
+starting at 0 (matching the paper's axes), one ASCII marker per series.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["line_chart", "stacked_bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    title: str,
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "threads",
+    y_label: str = "seconds",
+) -> str:
+    """Render one line chart as a string.
+
+    Parameters
+    ----------
+    title:
+        Chart heading.
+    x_values:
+        Shared x coordinates (e.g. thread counts), increasing.
+    series:
+        Mapping of series name to y values (same length as ``x_values``).
+    width, height:
+        Plot-area size in character cells.
+    x_label, y_label:
+        Axis captions.
+
+    Returns
+    -------
+    str
+        Multi-line chart with a legend.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    xs = [float(x) for x in x_values]
+    if len(xs) < 2:
+        raise ValueError("need at least two x values")
+    if any(b <= a for a, b in zip(xs, xs[1:])):
+        raise ValueError("x_values must be strictly increasing")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected {len(xs)}"
+            )
+    y_max = max(max(ys) for ys in series.values())
+    if y_max <= 0:
+        raise ValueError("all series are non-positive")
+    x_min, x_max = xs[0], xs[-1]
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((1.0 - y / y_max) * (height - 1))
+        return max(min(row, height - 1), 0), max(min(col, width - 1), 0)
+
+    for idx, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        # Light linear interpolation between measured points keeps curve
+        # shape visible even with few x samples.
+        for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+            steps = max(
+                abs(cell(x1, y1)[1] - cell(x0, y0)[1]), 1
+            )
+            for s in range(steps + 1):
+                t = s / steps
+                r, c = cell(x0 + t * (x1 - x0), y0 + t * (y1 - y0))
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for x, y in zip(xs, ys):
+            r, c = cell(x, y)
+            grid[r][c] = marker
+
+    lines = [title]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_max:8.3g} |"
+        elif i == height - 1:
+            label = f"{0.0:8.3g} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    x_axis = (
+        f"{'':9}{x_min:<8.3g}"
+        + f"{x_label:^{max(width - 16, 1)}}"
+        + f"{x_max:>8.3g}"
+    )
+    lines.append(x_axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"         [{y_label}]  {legend}")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(
+    title: str,
+    bars: dict[str, dict[str, float]],
+    width: int = 40,
+    symbols: dict[str, str] | None = None,
+) -> str:
+    """Render horizontal stacked bars (the Figure 6/8 breakdowns).
+
+    Parameters
+    ----------
+    title:
+        Chart heading.
+    bars:
+        Mapping of bar label to {phase: seconds}.
+    width:
+        Character width of the longest bar.
+    symbols:
+        Optional phase -> fill character mapping; defaults assign from a
+        fixed palette in first-seen order.
+
+    Returns
+    -------
+    str
+        Multi-line chart with a phase legend.
+    """
+    if not bars:
+        raise ValueError("bars must be non-empty")
+    phases: list[str] = []
+    for parts in bars.values():
+        for p in parts:
+            if p not in phases:
+                phases.append(p)
+    if symbols is None:
+        palette = "#=+:%@*o"
+        symbols = {p: palette[i % len(palette)] for i, p in enumerate(phases)}
+    total_max = max(sum(parts.values()) for parts in bars.values())
+    if total_max <= 0:
+        raise ValueError("all bars are empty")
+    label_w = max(len(k) for k in bars)
+    lines = [title]
+    for label, parts in bars.items():
+        total = sum(parts.values())
+        bar = ""
+        for p in phases:
+            v = parts.get(p, 0.0)
+            cells = round(v / total_max * width)
+            bar += symbols[p] * cells
+        lines.append(f"{label:>{label_w}} |{bar:<{width}}| {total:.4g}s")
+    legend = "   ".join(f"{symbols[p]} {p}" for p in phases)
+    lines.append(f"{'':{label_w}}  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Summarize pytest-benchmark JSON output into paper-style tables.
+
+The benchmark suite attaches experiment metadata (figure id, workload,
+algorithm, threads, phase breakdowns) to every record via
+``benchmark.extra_info``.  After a run with
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+
+this module (also a CLI: ``python -m repro.bench.report bench.json``)
+groups the records by figure/ablation and prints per-figure comparison
+tables — the machine-readable complement to ``repro.bench.figures``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from collections.abc import Sequence
+
+__all__ = ["load_records", "summarize", "main"]
+
+
+def load_records(path_or_dict) -> list[dict]:
+    """Extract benchmark records (name, median seconds, extra_info).
+
+    Accepts a path to a pytest-benchmark JSON file or an already-parsed
+    dict with the same structure.
+    """
+    if isinstance(path_or_dict, dict):
+        doc = path_or_dict
+    else:
+        with open(path_or_dict) as fh:
+            doc = json.load(fh)
+    records = []
+    for b in doc.get("benchmarks", []):
+        records.append(
+            {
+                "name": b.get("name", "?"),
+                "median": float(b.get("stats", {}).get("median", 0.0)),
+                "mean": float(b.get("stats", {}).get("mean", 0.0)),
+                "extra": b.get("extra_info", {}) or {},
+            }
+        )
+    return records
+
+
+def _group_key(rec: dict) -> str:
+    extra = rec["extra"]
+    return extra.get("figure") or (
+        f"ablation:{extra['ablation']}" if "ablation" in extra else "other"
+    )
+
+
+def summarize(records: Sequence[dict], out=None) -> None:
+    """Print one table per figure/ablation group."""
+    out = out or sys.stdout
+    groups: dict[str, list[dict]] = defaultdict(list)
+    for rec in records:
+        groups[_group_key(rec)].append(rec)
+    for group in sorted(groups):
+        rows = groups[group]
+        print(f"\n== {group} ({len(rows)} benchmarks) ==", file=out)
+        # Columns: the union of scalar extra_info keys (stable order).
+        keys: list[str] = []
+        for rec in rows:
+            for k, v in rec["extra"].items():
+                if k in ("figure", "ablation", "phase_seconds",
+                         "phase_fractions"):
+                    continue
+                if k not in keys:
+                    keys.append(k)
+        header = keys + ["median(s)"]
+        widths = [len(h) for h in header]
+        table = []
+        for rec in sorted(
+            rows, key=lambda r: tuple(str(r["extra"].get(k)) for k in keys)
+        ):
+            cells = [str(rec["extra"].get(k, "-")) for k in keys]
+            cells.append(f"{rec['median']:.5f}")
+            table.append(cells)
+            widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        print(
+            "  ".join(h.rjust(w) for h, w in zip(header, widths)), file=out
+        )
+        for cells in table:
+            print(
+                "  ".join(c.rjust(w) for c, w in zip(cells, widths)),
+                file=out,
+            )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.report",
+        description="Summarize a pytest-benchmark JSON file by figure.",
+    )
+    parser.add_argument("json_path", help="output of --benchmark-json")
+    args = parser.parse_args(argv)
+    summarize(load_records(args.json_path))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""STREAM-style bandwidth benchmark (the reference curve in Figure 4).
+
+The paper's STREAM variant "is based on reading, scaling, and writing a
+matrix the same size as the output KRP matrix" — i.e. the STREAM *scale*
+kernel ``b = alpha * a``.  :func:`stream_scale` implements exactly that,
+with the same contiguous-block thread decomposition as the KRP so the two
+curves are comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.config import resolve_threads
+from repro.parallel.pool import get_pool
+
+__all__ = ["stream_scale", "stream_buffers"]
+
+
+def stream_buffers(entries: int, dtype=np.float64) -> tuple[np.ndarray, np.ndarray]:
+    """Allocate and touch source/destination buffers for :func:`stream_scale`.
+
+    Separated from the kernel so benchmark loops can reuse allocations and
+    time only the traffic.
+    """
+    entries = int(entries)
+    if entries <= 0:
+        raise ValueError(f"entries must be positive, got {entries}")
+    src = np.ones(entries, dtype=dtype)
+    dst = np.zeros(entries, dtype=dtype)
+    return src, dst
+
+
+def stream_scale(
+    src: np.ndarray,
+    dst: np.ndarray,
+    alpha: float = 3.0,
+    num_threads: int | None = None,
+) -> None:
+    """``dst = alpha * src`` with the KRP's contiguous-block threading.
+
+    Parameters
+    ----------
+    src, dst:
+        Equal-length 1-D arrays (see :func:`stream_buffers`).
+    alpha:
+        Scale constant (STREAM's traditional 3.0).
+    num_threads:
+        Thread count; 1 runs the plain vectorized kernel.
+    """
+    if src.shape != dst.shape or src.ndim != 1:
+        raise ValueError("src and dst must be equal-length 1-D arrays")
+    T = resolve_threads(num_threads)
+    if T == 1:
+        np.multiply(src, alpha, out=dst)
+        return
+    pool = get_pool(T)
+
+    def work(t: int, start: int, stop: int) -> None:
+        np.multiply(src[start:stop], alpha, out=dst[start:stop])
+
+    pool.parallel_for(work, src.shape[0])

@@ -1,0 +1,101 @@
+"""Unified MTTKRP entry point with the paper's per-mode algorithm policy.
+
+Section 5.3.3: "Our C implementation of CP-ALS employs Algorithm 3 (1-step)
+for both outer modes and Algorithm 4 (2-step) for all inner modes."  That is
+exactly what ``method="auto"`` does (noting the two algorithms coincide for
+external modes anyway).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.mttkrp_baseline import mttkrp_baseline
+from repro.core.mttkrp_onestep import mttkrp_onestep, mttkrp_onestep_sequential
+from repro.core.mttkrp_twostep import mttkrp_twostep
+from repro.tensor.dense import DenseTensor
+from repro.util.timing import PhaseTimer
+from repro.util.validation import check_mode
+
+__all__ = ["mttkrp", "MTTKRP_METHODS"]
+
+MTTKRP_METHODS = ("auto", "onestep", "onestep-seq", "twostep", "baseline")
+
+
+def mttkrp(
+    tensor: DenseTensor,
+    factors: Sequence[np.ndarray],
+    n: int,
+    method: str = "auto",
+    num_threads: int | None = None,
+    timers: PhaseTimer | None = None,
+    **kwargs,
+) -> np.ndarray:
+    """Matricized-tensor times Khatri-Rao product for mode ``n``.
+
+    ``M = X_(n) . (U_{N-1} krp ... krp U_{n+1} krp U_{n-1} krp ... krp U_0)``
+
+    Parameters
+    ----------
+    tensor:
+        Dense tensor in natural layout.
+    factors:
+        One ``I_k x C`` factor matrix per mode (the mode-``n`` matrix does
+        not enter the computation but fixes shapes, matching CP-ALS usage).
+    n:
+        Output mode (negative values allowed, numpy-style).
+    method:
+        * ``"auto"`` — the paper's CP-ALS policy: 1-step for external
+          modes, 2-step for internal modes;
+        * ``"onestep"`` — Algorithm 3 (the recommended 1-step variant,
+          also for ``num_threads=1``);
+        * ``"onestep-seq"`` — Algorithm 2 (explicit full KRP);
+        * ``"twostep"`` — Algorithm 4 (internal modes only; external modes
+          fall back to 1-step, which it degenerates to);
+        * ``"baseline"`` — explicit reorder + full KRP + single GEMM.
+    num_threads:
+        Thread count; defaults to the package-wide setting.
+    timers:
+        Optional :class:`~repro.util.timing.PhaseTimer` for breakdowns.
+    **kwargs:
+        Forwarded to the selected implementation (e.g. ``side=`` for
+        ``"twostep"``).
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``I_n x C`` MTTKRP result.
+    """
+    if not isinstance(tensor, DenseTensor):
+        raise TypeError(
+            f"tensor must be a DenseTensor, got {type(tensor).__name__}"
+        )
+    n = check_mode(n, tensor.ndim)
+    external = n == 0 or n == tensor.ndim - 1
+    if method == "auto":
+        method = "onestep" if external else "twostep"
+    if method == "onestep":
+        return mttkrp_onestep(
+            tensor, factors, n, num_threads=num_threads, timers=timers, **kwargs
+        )
+    if method == "onestep-seq":
+        return mttkrp_onestep_sequential(tensor, factors, n, timers=timers, **kwargs)
+    if method == "twostep":
+        if external:
+            # The paper: "for external modes, the 2-step algorithm
+            # degenerates to the 1-step algorithm."
+            return mttkrp_onestep(
+                tensor, factors, n, num_threads=num_threads, timers=timers
+            )
+        return mttkrp_twostep(
+            tensor, factors, n, num_threads=num_threads, timers=timers, **kwargs
+        )
+    if method == "baseline":
+        return mttkrp_baseline(
+            tensor, factors, n, num_threads=num_threads, timers=timers, **kwargs
+        )
+    raise ValueError(
+        f"unknown method {method!r}; expected one of {MTTKRP_METHODS}"
+    )

@@ -1,0 +1,323 @@
+"""Exact arithmetic and traffic counts for every algorithm phase.
+
+These counts drive two things:
+
+* the **machine model** (:mod:`repro.machine`), which turns them into
+  predicted times for the paper's 12-core machine (and any other), and
+* the benchmark harness, which reports achieved GFLOP/s and GB/s so the
+  measured results are interpretable (e.g. Figure 4's claim that KRP runs
+  at STREAM bandwidth).
+
+Conventions: one fused multiply-add counts as 2 flops (matching how GEMM
+peak rates are quoted); traffic counts are *algorithmic* reads/writes of
+8-byte doubles — compulsory traffic, ignoring caches, which is the right
+granularity for the streaming kernels here (KRP, reorder, reduction) and a
+standard approximation for large GEMMs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.tensor.layout import mode_products
+from repro.util import prod
+
+__all__ = [
+    "PhaseCost",
+    "AlgorithmCost",
+    "krp_cost",
+    "stream_cost",
+    "gemm_cost",
+    "onestep_cost",
+    "twostep_cost",
+    "baseline_cost",
+    "gemm_lower_bound_cost",
+    "multi_ttv_cost",
+]
+
+_DOUBLE = 8  # bytes per entry, double precision throughout the paper
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """Arithmetic (flops) and memory traffic (bytes) of one phase.
+
+    ``gemm_shape`` records the (m, n, k) of the dominant matrix multiply,
+    if any — the machine model uses it to estimate BLAS efficiency, which
+    the paper identifies as shape-dependent (Section 5.3.1).
+    """
+
+    name: str
+    flops: float
+    read_bytes: float
+    write_bytes: float
+    gemm_shape: tuple[int, int, int] | None = None
+
+    @property
+    def bytes(self) -> float:
+        """Total traffic."""
+        return self.read_bytes + self.write_bytes
+
+    def scaled(self, factor: float) -> "PhaseCost":
+        """Cost with all counts multiplied by ``factor``."""
+        return PhaseCost(
+            self.name,
+            self.flops * factor,
+            self.read_bytes * factor,
+            self.write_bytes * factor,
+            self.gemm_shape,
+        )
+
+
+@dataclass(frozen=True)
+class AlgorithmCost:
+    """Phase-decomposed cost of one algorithm invocation."""
+
+    algorithm: str
+    phases: tuple[PhaseCost, ...] = field(default_factory=tuple)
+
+    @property
+    def flops(self) -> float:
+        return sum(p.flops for p in self.phases)
+
+    @property
+    def bytes(self) -> float:
+        return sum(p.bytes for p in self.phases)
+
+    def phase(self, name: str) -> PhaseCost:
+        """Look up a phase by name (raises ``KeyError`` if absent)."""
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(f"{self.algorithm} has no phase {name!r}")
+
+
+# --------------------------------------------------------------------- #
+# Building blocks
+# --------------------------------------------------------------------- #
+
+
+def krp_cost(dims: Sequence[int], C: int, schedule: str = "reuse") -> PhaseCost:
+    """Cost of a Khatri-Rao product of matrices ``J_z x C``.
+
+    * ``"reuse"`` (Algorithm 1): each prefix's Hadamard products are
+      computed once — ``C * sum_z prod(J_0..J_z)`` multiplies for
+      ``z >= 1`` — and every level is written once and read once by the
+      next level (the final level only written).
+    * ``"naive"``: ``(Z-1)`` Hadamard products per output row.
+
+    For ``Z == 1`` the KRP is a copy (zero flops).
+    """
+    dims = [int(d) for d in dims]
+    C = int(C)
+    Z = len(dims)
+    if Z == 0:
+        raise ValueError("KRP requires at least one matrix")
+    rows = prod(dims)
+    out_entries = rows * C
+    input_entries = sum(d * C for d in dims)
+    if schedule == "reuse":
+        flops = 0.0
+        level_entries = []
+        r = dims[0]
+        for d in dims[1:]:
+            r *= d
+            flops += r * C
+            level_entries.append(r * C)
+        # Each intermediate level is written then read by the next level.
+        inter = sum(level_entries[:-1]) if level_entries else 0
+        reads = (input_entries + inter) * _DOUBLE
+        writes = out_entries * _DOUBLE + inter * _DOUBLE
+    elif schedule == "naive":
+        flops = max(Z - 1, 0) * rows * C
+        # Z gathered operands per output row (reads served from the small
+        # inputs but charged per access: this is the stream the naive
+        # algorithm actually issues), one write.
+        reads = Z * out_entries * _DOUBLE
+        writes = out_entries * _DOUBLE
+    else:
+        raise ValueError(f"unknown schedule {schedule!r}")
+    return PhaseCost("krp", float(flops), float(reads), float(writes))
+
+
+def stream_cost(entries: int) -> PhaseCost:
+    """The STREAM scale benchmark on ``entries`` doubles: read + write."""
+    entries = int(entries)
+    return PhaseCost(
+        "stream",
+        float(entries),
+        float(entries * _DOUBLE),
+        float(entries * _DOUBLE),
+    )
+
+
+def gemm_cost(m: int, n: int, k: int, name: str = "gemm") -> PhaseCost:
+    """``(m x k) . (k x n)``: ``2mnk`` flops, compulsory traffic."""
+    m, n, k = int(m), int(n), int(k)
+    return PhaseCost(
+        name,
+        2.0 * m * n * k,
+        float((m * k + k * n) * _DOUBLE),
+        float(m * n * _DOUBLE),
+        gemm_shape=(m, n, k),
+    )
+
+
+def multi_ttv_cost(out_dim: int, inner: int, C: int) -> PhaseCost:
+    """Second step of 2-step MTTKRP: ``C`` GEMVs of ``out_dim x inner``."""
+    out_dim, inner, C = int(out_dim), int(inner), int(C)
+    return PhaseCost(
+        "gemv",
+        2.0 * C * out_dim * inner,
+        float(C * (out_dim * inner + inner) * _DOUBLE),
+        float(C * out_dim * _DOUBLE),
+        gemm_shape=(out_dim, 1, inner),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Full algorithms
+# --------------------------------------------------------------------- #
+
+
+def onestep_cost(
+    shape: Sequence[int], n: int, C: int, num_threads: int = 1
+) -> AlgorithmCost:
+    """Cost of 1-step MTTKRP (Algorithm 3) for mode ``n``.
+
+    External modes: full KRP (reuse schedule) + one GEMM slice per thread +
+    reduction.  Internal modes: left partial KRP + per-block right-KRP row
+    and Hadamard broadcast + one GEMM per block + reduction.
+    """
+    shape = [int(s) for s in shape]
+    N = len(shape)
+    C = int(C)
+    T = int(num_threads)
+    p = mode_products(shape, n)
+    phases: list[PhaseCost] = []
+    if n == 0 or n == N - 1:
+        other_dims = [shape[k] for k in range(N - 1, -1, -1) if k != n]
+        phases.append(
+            krp_cost(other_dims, C).scaled(1.0)._replace_name("full_krp")
+        )
+        phases.append(gemm_cost(p.size, C, p.other))
+    else:
+        left_dims = [shape[k] for k in range(n - 1, -1, -1)]
+        phases.append(krp_cost(left_dims, C)._replace_name("lr_krp"))
+        # Per block j: right-KRP row ((N-n-2) row Hadamards, negligible) and
+        # the broadcast K_t = K_L * k_r (I^L_n * C multiplies + traffic).
+        per_block = PhaseCost(
+            "lr_krp",
+            float(p.left * C + max(N - n - 2, 0) * C),
+            float((p.left * C + C) * _DOUBLE),
+            float(p.left * C * _DOUBLE),
+        )
+        phases.append(per_block.scaled(p.right))
+        phases.append(gemm_cost(p.size, C, p.other, name="gemm"))
+    if T > 1:
+        # Tree reduction of private I_n x C outputs: T-1 pairwise adds.
+        entries = p.size * C
+        phases.append(
+            PhaseCost(
+                "reduce",
+                float((T - 1) * entries),
+                float(2 * (T - 1) * entries * _DOUBLE),
+                float((T - 1) * entries * _DOUBLE),
+            )
+        )
+    return AlgorithmCost("onestep", tuple(_merge(phases)))
+
+
+def twostep_cost(
+    shape: Sequence[int], n: int, C: int, side: str = "auto"
+) -> AlgorithmCost:
+    """Cost of 2-step MTTKRP (Algorithm 4) for internal mode ``n``."""
+    shape = [int(s) for s in shape]
+    N = len(shape)
+    C = int(C)
+    if n <= 0 or n >= N - 1:
+        raise ValueError(f"2-step cost defined for internal modes, got n={n}")
+    p = mode_products(shape, n)
+    if side == "auto":
+        side = "left" if p.left > p.right else "right"
+    left_dims = [shape[k] for k in range(n - 1, -1, -1)]
+    right_dims = [shape[k] for k in range(N - 1, n, -1)]
+    phases = [
+        krp_cost(left_dims, C)._replace_name("lr_krp"),
+        krp_cost(right_dims, C)._replace_name("lr_krp"),
+    ]
+    if side == "left":
+        # L = X_(0:n-1)^T . K_L : (In*IRn x ILn) . (ILn x C)
+        phases.append(gemm_cost(p.size * p.right, C, p.left))
+        phases.append(multi_ttv_cost(p.size, p.right, C))
+    elif side == "right":
+        # R = X_(0:n) . K_R : (ILn*In x IRn) . (IRn x C)
+        phases.append(gemm_cost(p.left * p.size, C, p.right))
+        phases.append(multi_ttv_cost(p.size, p.left, C))
+    else:
+        raise ValueError(f"side must be 'auto', 'left' or 'right', got {side!r}")
+    return AlgorithmCost("twostep", tuple(_merge(phases)))
+
+
+def baseline_cost(shape: Sequence[int], n: int, C: int) -> AlgorithmCost:
+    """Cost of the straightforward baseline (reorder + full KRP + GEMM)."""
+    shape = [int(s) for s in shape]
+    N = len(shape)
+    C = int(C)
+    p = mode_products(shape, n)
+    phases: list[PhaseCost] = []
+    if 0 < n < N - 1 or n == N - 1:
+        # Entry reordering: read + write of the whole tensor (memory-bound).
+        total = p.total
+        phases.append(
+            PhaseCost(
+                "reorder", 0.0, float(total * _DOUBLE), float(total * _DOUBLE)
+            )
+        )
+    other_dims = [shape[k] for k in range(N - 1, -1, -1) if k != n]
+    phases.append(krp_cost(other_dims, C)._replace_name("full_krp"))
+    phases.append(gemm_cost(p.size, C, p.other))
+    return AlgorithmCost("baseline", tuple(_merge(phases)))
+
+
+def gemm_lower_bound_cost(shape: Sequence[int], n: int, C: int) -> AlgorithmCost:
+    """The paper's DGEMM-only Baseline benchmark for mode ``n``."""
+    shape = [int(s) for s in shape]
+    p = mode_products(shape, n)
+    return AlgorithmCost("gemm-baseline", (gemm_cost(p.size, C, p.other),))
+
+
+# --------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------- #
+
+
+def _merge(phases: list[PhaseCost]) -> list[PhaseCost]:
+    """Merge same-named phases, preserving first-seen order."""
+    order: list[str] = []
+    acc: dict[str, PhaseCost] = {}
+    for p in phases:
+        if p.name not in acc:
+            order.append(p.name)
+            acc[p.name] = p
+        else:
+            q = acc[p.name]
+            acc[p.name] = PhaseCost(
+                p.name,
+                p.flops + q.flops,
+                p.read_bytes + q.read_bytes,
+                p.write_bytes + q.write_bytes,
+                q.gemm_shape or p.gemm_shape,
+            )
+    return [acc[name] for name in order]
+
+
+def _replace_name(self: PhaseCost, name: str) -> PhaseCost:
+    return PhaseCost(
+        name, self.flops, self.read_bytes, self.write_bytes, self.gemm_shape
+    )
+
+
+# Attach as a method (keeps the dataclass frozen and the call sites tidy).
+PhaseCost._replace_name = _replace_name  # type: ignore[attr-defined]

@@ -1,0 +1,84 @@
+"""Gram matrices and the Hadamard-of-Grams product of CP-ALS.
+
+Each CP-ALS factor update solves ``U_n = M H^+`` where
+``H = (*)_{k != n} U_k^T U_k`` (Section 2.2).  Forming ``H`` costs
+``O(C^2 sum_{k != n} I_k)`` — negligible next to MTTKRP — but recomputing
+every Gram matrix for every mode is still wasteful, so :class:`GramCache`
+keeps one Gram per mode and refreshes only the factor that just changed
+(standard CP-ALS practice, also what Tensor Toolbox does).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.util.validation import check_same_columns
+
+__all__ = ["gram_matrices", "hadamard_of_grams", "GramCache"]
+
+
+def gram_matrices(factors: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """``[U_k^T U_k for k]`` — one ``C x C`` Gram matrix per factor."""
+    check_same_columns(list(factors), "factors")
+    return [np.asarray(f).T @ np.asarray(f) for f in factors]
+
+
+def hadamard_of_grams(
+    grams: Sequence[np.ndarray], skip: int | None = None
+) -> np.ndarray:
+    """Elementwise product of Gram matrices, optionally skipping one mode.
+
+    ``H = (*)_{k != skip} G_k``; with ``skip=None`` all matrices enter the
+    product (used for the model norm).
+    """
+    if len(grams) == 0:
+        raise ValueError("grams must be non-empty")
+    C = np.asarray(grams[0]).shape[0]
+    H = np.ones((C, C), dtype=np.asarray(grams[0]).dtype)
+    for k, g in enumerate(grams):
+        if skip is not None and k == skip:
+            continue
+        g = np.asarray(g)
+        if g.shape != (C, C):
+            raise ValueError(
+                f"grams[{k}] has shape {g.shape}, expected {(C, C)}"
+            )
+        H *= g
+    return H
+
+
+class GramCache:
+    """Per-mode Gram matrices with single-mode refresh.
+
+    >>> import numpy as np
+    >>> U = [np.ones((3, 2)), np.eye(2)]
+    >>> cache = GramCache(U)
+    >>> cache.hadamard(skip=0).shape
+    (2, 2)
+    """
+
+    def __init__(self, factors: Sequence[np.ndarray]) -> None:
+        self._factors = factors
+        self._grams = gram_matrices(factors)
+
+    def update(self, n: int) -> None:
+        """Refresh the Gram of mode ``n`` after its factor changed."""
+        if not 0 <= n < len(self._grams):
+            raise ValueError(f"mode {n} out of range")
+        f = np.asarray(self._factors[n])
+        self._grams[n] = f.T @ f
+
+    def hadamard(self, skip: int) -> np.ndarray:
+        """``H`` for the mode-``skip`` ALS update."""
+        return hadamard_of_grams(self._grams, skip=skip)
+
+    def hadamard_all(self) -> np.ndarray:
+        """Hadamard product of all Grams (for norms/fit)."""
+        return hadamard_of_grams(self._grams, skip=None)
+
+    @property
+    def grams(self) -> list[np.ndarray]:
+        """The cached per-mode Gram matrices (do not mutate)."""
+        return self._grams

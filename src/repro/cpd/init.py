@@ -1,0 +1,76 @@
+"""Factor-matrix initialization for CP-ALS.
+
+Two standard strategies:
+
+* ``"random"`` — i.i.d. uniform entries (Tensor Toolbox's default; also
+  what the paper's CP-ALS benchmarks use, where multiple random starts are
+  the norm);
+* ``"hosvd"`` — leading left singular vectors of each mode-``n``
+  matricization (a.k.a. "nvecs"/HOSVD initialization), which typically
+  converges in fewer iterations on structured data like the fMRI tensors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.dense import DenseTensor
+from repro.tensor.matricize import unfold_explicit
+
+__all__ = ["initialize_factors"]
+
+
+def initialize_factors(
+    tensor: DenseTensor,
+    rank: int,
+    method: str = "random",
+    rng: np.random.Generator | int | None = None,
+) -> list[np.ndarray]:
+    """Build initial factor matrices for CP-ALS.
+
+    Parameters
+    ----------
+    tensor:
+        The tensor to be decomposed (only shapes are used for ``"random"``).
+    rank:
+        CP rank ``C``.
+    method:
+        ``"random"`` or ``"hosvd"``.
+    rng:
+        Generator or seed for the random entries.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        One ``I_n x C`` matrix per mode.
+
+    Notes
+    -----
+    For ``"hosvd"`` with ``rank > I_n`` for some mode, the remaining
+    columns are filled with random entries (the standard fallback; the
+    mode-``n`` matricization has at most ``I_n`` singular vectors).
+    """
+    rank = int(rank)
+    if rank <= 0:
+        raise ValueError(f"rank must be positive, got {rank}")
+    rng = np.random.default_rng(rng)
+    if method == "random":
+        return [
+            rng.random((s, rank)) for s in tensor.shape
+        ]
+    if method == "hosvd":
+        factors = []
+        for n, s in enumerate(tensor.shape):
+            Xn = unfold_explicit(tensor, n)
+            # Leading eigenvectors of X_(n) X_(n)^T (s x s, cheap for the
+            # mode sizes CP uses) == leading left singular vectors of X_(n).
+            G = Xn @ Xn.T
+            eigvals, eigvecs = np.linalg.eigh(G)
+            order = np.argsort(eigvals)[::-1]
+            k = min(rank, s)
+            f = eigvecs[:, order[:k]]
+            if k < rank:
+                f = np.hstack([f, rng.random((s, rank - k))])
+            factors.append(np.ascontiguousarray(f))
+        return factors
+    raise ValueError(f"unknown init method {method!r}")

@@ -1,0 +1,145 @@
+"""Kruskal tensors: the CP model object ``Y = [[w; U_0, ..., U_{N-1}]]``.
+
+A rank-``C`` Kruskal tensor is a sum of ``C`` rank-1 terms (Figure 1 of the
+paper), stored as per-mode factor matrices plus per-component weights.  This
+class provides the operations CP-ALS and the analysis examples need:
+normalization, full reconstruction, efficient norm and inner product
+(through Gram matrices, never materializing the dense tensor), and
+component sorting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.tensor.dense import DenseTensor
+from repro.tensor.generate import from_kruskal
+from repro.util.validation import check_same_columns
+
+__all__ = ["KruskalTensor"]
+
+
+class KruskalTensor:
+    """CP model: weights ``w`` (length ``C``) and factors ``U_n (I_n x C)``.
+
+    Parameters
+    ----------
+    factors:
+        Factor matrices, one per mode, each with ``C`` columns.
+    weights:
+        Component weights; defaults to all ones.
+
+    Notes
+    -----
+    Instances are lightweight views over the provided arrays (no copies);
+    use :meth:`copy` for an independent model.
+    """
+
+    def __init__(
+        self,
+        factors: Sequence[np.ndarray],
+        weights: np.ndarray | None = None,
+    ) -> None:
+        self.factors = [np.asarray(f, dtype=np.float64) for f in factors]
+        self.rank = check_same_columns(self.factors, "factors")
+        if weights is None:
+            weights = np.ones(self.rank)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        if self.weights.shape != (self.rank,):
+            raise ValueError(
+                f"weights must have shape ({self.rank},), got "
+                f"{self.weights.shape}"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the modeled dense tensor."""
+        return tuple(f.shape[0] for f in self.factors)
+
+    @property
+    def ndim(self) -> int:
+        """Number of modes."""
+        return len(self.factors)
+
+    def copy(self) -> "KruskalTensor":
+        """Deep copy."""
+        return KruskalTensor(
+            [f.copy() for f in self.factors], self.weights.copy()
+        )
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(s) for s in self.shape)
+        return f"KruskalTensor({dims}, rank={self.rank})"
+
+    # ------------------------------------------------------------------ #
+    # Model algebra (all O(rank^2 * sum I_n) — never materializes X)
+    # ------------------------------------------------------------------ #
+
+    def full(self) -> DenseTensor:
+        """Materialize the dense tensor (use sparingly; O(prod I_n))."""
+        return from_kruskal(self.factors, self.weights)
+
+    def norm(self) -> float:
+        """Frobenius norm of the modeled tensor, via Gram matrices.
+
+        ``|Y|^2 = w^T ( (*)_n U_n^T U_n ) w`` — ``O(C^2 sum I_n)`` instead
+        of materializing ``prod I_n`` entries.
+        """
+        had = np.ones((self.rank, self.rank))
+        for f in self.factors:
+            had *= f.T @ f
+        val = float(self.weights @ had @ self.weights)
+        return float(np.sqrt(max(val, 0.0)))
+
+    def inner(self, tensor: DenseTensor) -> float:
+        """Inner product ``<Y, X>`` with a dense tensor.
+
+        Computed as ``sum_c w_c * <x_c, U_{N-1}(:,c) o ... o U_0(:,c)>``
+        via one mode-0 MTTKRP of ``X`` — the same trick CP-ALS uses for its
+        fit computation, reusing the final MTTKRP.
+        """
+        from repro.core.dispatch import mttkrp
+
+        M = mttkrp(tensor, self.factors, 0)
+        return float(np.einsum("ic,ic,c->", self.factors[0], M, self.weights))
+
+    def normalize(self, sort: bool = True) -> "KruskalTensor":
+        """Return an equivalent model with unit-norm factor columns.
+
+        Column norms are folded into the weights; with ``sort=True``
+        components are ordered by decreasing weight (the conventional
+        presentation for analysis).
+        """
+        factors = []
+        weights = self.weights.copy()
+        for f in self.factors:
+            norms = np.linalg.norm(f, axis=0)
+            norms_safe = np.where(norms > 0, norms, 1.0)
+            factors.append(f / norms_safe)
+            weights *= norms
+        if sort:
+            order = np.argsort(-np.abs(weights))
+            factors = [f[:, order] for f in factors]
+            weights = weights[order]
+        return KruskalTensor(factors, weights)
+
+    def residual_norm(self, tensor: DenseTensor, tensor_norm: float | None = None) -> float:
+        """``|X - Y|_F`` without materializing ``Y``.
+
+        Uses ``|X - Y|^2 = |X|^2 - 2 <X, Y> + |Y|^2``; pass ``tensor_norm``
+        to avoid recomputing ``|X|`` across ALS iterations.
+        """
+        xnorm = tensor.norm() if tensor_norm is None else float(tensor_norm)
+        val = xnorm**2 - 2.0 * self.inner(tensor) + self.norm() ** 2
+        return float(np.sqrt(max(val, 0.0)))
+
+    def fit(self, tensor: DenseTensor, tensor_norm: float | None = None) -> float:
+        """Model fit ``1 - |X - Y| / |X|`` (1 is perfect)."""
+        xnorm = tensor.norm() if tensor_norm is None else float(tensor_norm)
+        if xnorm == 0:
+            raise ValueError("fit is undefined for a zero tensor")
+        return 1.0 - self.residual_norm(tensor, xnorm) / xnorm

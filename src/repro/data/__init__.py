@@ -1,0 +1,40 @@
+"""Workload substrates: the synthetic fMRI application and named configs.
+
+The paper's application data — a 225 x 59 x 200 x 200 tensor of
+instantaneous correlations between brain regions over time and subjects —
+is not publicly available, so :mod:`repro.data.fmri` synthesizes a tensor
+with the same structure from a planted model of latent brain networks (see
+DESIGN.md for the substitution argument).  :mod:`repro.data.symmetrize`
+implements the paper's symmetric linearization of the two region modes
+(4-way -> 3-way, halving the entry count), and
+:mod:`repro.data.workloads` names every experiment configuration used by
+the benchmark harness.
+"""
+
+from repro.data.fmri import FMRIDataset, synthetic_fmri
+from repro.data.symmetrize import linearize_symmetric, upper_triangle_indices
+from repro.data.workloads import (
+    FIG4_WORKLOADS,
+    FIG5_WORKLOADS,
+    FMRI_PAPER_4D,
+    FMRI_REDUCED_4D,
+    KRPWorkload,
+    MTTKRPWorkload,
+    fig5_shape,
+    scaled_shape,
+)
+
+__all__ = [
+    "synthetic_fmri",
+    "FMRIDataset",
+    "linearize_symmetric",
+    "upper_triangle_indices",
+    "KRPWorkload",
+    "MTTKRPWorkload",
+    "FIG4_WORKLOADS",
+    "FIG5_WORKLOADS",
+    "FMRI_PAPER_4D",
+    "FMRI_REDUCED_4D",
+    "fig5_shape",
+    "scaled_shape",
+]

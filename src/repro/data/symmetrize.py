@@ -1,0 +1,129 @@
+"""Symmetric linearization of paired tensor modes (Section 5.3.3).
+
+The fMRI tensor is symmetric in its two region modes:
+``X(t, s, i, j) == X(t, s, j, i)``.  The paper linearizes those two modes
+into one, keeping only distinct pairs, which "reduces the number of tensor
+entries by a factor of 2": 200 x 200 = 40000 entries per (t, s) slice
+become the 19900 strict-upper-triangle pairs (i < j).
+
+With the natural layout the two region modes are the *trailing* modes, so
+each (i, j) pair corresponds to a contiguous leading-modes slab; the
+linearization is a column selection on a zero-copy matricization view —
+cheap, one pass, no index arithmetic per entry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.dense import DenseTensor
+from repro.util import prod
+
+__all__ = ["upper_triangle_indices", "linearize_symmetric", "expand_symmetric"]
+
+
+def upper_triangle_indices(n: int, include_diagonal: bool = False) -> np.ndarray:
+    """Linearized indices of the (strict) upper triangle of an ``n x n``
+    matrix stored column-major (first index fastest, the natural layout).
+
+    Pair ``(i, j)`` with ``i < j`` (or ``i <= j``) maps to linear index
+    ``i + j*n``; the result is sorted ascending, so gathering with it
+    preserves the canonical pair ordering ``(0,1), (0,2), (1,2), ...``
+    grouped by ``j``.
+    """
+    n = int(n)
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    mask = (i <= j) if include_diagonal else (i < j)
+    lin = (i + j * n)[mask]
+    return np.sort(lin)
+
+
+def linearize_symmetric(
+    tensor: DenseTensor,
+    include_diagonal: bool = False,
+    check: bool = True,
+    atol: float = 1e-10,
+) -> DenseTensor:
+    """Merge the two trailing (symmetric) modes into one pair mode.
+
+    ``(I_0, ..., I_{N-3}, R, R) -> (I_0, ..., I_{N-3}, P)`` where
+    ``P = R(R-1)/2`` (strict upper triangle) or ``R(R+1)/2`` with the
+    diagonal.  This is the paper's 4-way -> 3-way fMRI transformation
+    (225 x 59 x 200 x 200 -> 225 x 59 x 19900).
+
+    Parameters
+    ----------
+    tensor:
+        Input tensor whose last two modes have equal size and are symmetric.
+    include_diagonal:
+        Keep the ``(i, i)`` pairs as well (the paper drops them; for
+        correlation data they are identically 1 and carry no information).
+    check:
+        Verify symmetry of the trailing modes before linearizing (one pass;
+        disable for performance on trusted data).
+    atol:
+        Absolute tolerance for the symmetry check.
+
+    Returns
+    -------
+    DenseTensor
+        The linearized tensor (freshly allocated; selection is a gather).
+    """
+    if tensor.ndim < 2:
+        raise ValueError("need at least two modes to linearize")
+    R = tensor.shape[-1]
+    if tensor.shape[-2] != R:
+        raise ValueError(
+            f"trailing modes must be square, got {tensor.shape[-2]} x {R}"
+        )
+    lead = prod(tensor.shape[:-2])
+    # X_(0:N-3): leading modes as rows (natural order), trailing pair
+    # linearized as columns — zero-copy column-major view.
+    flat = tensor.data.reshape((lead, R * R), order="F")
+    if check:
+        # Column for (i, j) is i + j*R; its mirror is j + i*R.
+        i, j = np.triu_indices(R, k=1)
+        if not np.allclose(
+            flat[:, i + j * R], flat[:, j + i * R], atol=atol, rtol=0.0
+        ):
+            raise ValueError(
+                "trailing modes are not symmetric within tolerance; "
+                "pass check=False to force linearization"
+            )
+    cols = upper_triangle_indices(R, include_diagonal=include_diagonal)
+    selected = flat[:, cols]  # gather: (lead, P), column-major semantics kept
+    new_shape = tensor.shape[:-2] + (len(cols),)
+    return DenseTensor(selected.ravel(order="F"), new_shape)
+
+
+def expand_symmetric(
+    tensor: DenseTensor,
+    region_count: int,
+    include_diagonal: bool = False,
+    diagonal_value: float = 0.0,
+) -> DenseTensor:
+    """Inverse of :func:`linearize_symmetric` (for round-trip tests and for
+    mapping recovered pair-mode factors back to region space).
+
+    Entries absent from the linearization (the diagonal, when excluded)
+    are filled with ``diagonal_value``.
+    """
+    R = int(region_count)
+    P_expected = R * (R + 1) // 2 if include_diagonal else R * (R - 1) // 2
+    if tensor.shape[-1] != P_expected:
+        raise ValueError(
+            f"last mode has {tensor.shape[-1]} entries; expected {P_expected} "
+            f"for region_count={R}, include_diagonal={include_diagonal}"
+        )
+    lead = prod(tensor.shape[:-1])
+    flat = tensor.data.reshape((lead, tensor.shape[-1]), order="F")
+    out = np.full((lead, R * R), float(diagonal_value))
+    cols = upper_triangle_indices(R, include_diagonal=include_diagonal)
+    out[:, cols] = flat
+    # Mirror (i, j) -> (j, i).
+    i, j = np.triu_indices(R, k=0 if include_diagonal else 1)
+    out[:, j + i * R] = out[:, i + j * R]
+    new_shape = tensor.shape[:-1] + (R, R)
+    return DenseTensor(out.ravel(order="F"), new_shape)

@@ -1,0 +1,118 @@
+"""Named workload configurations for every experiment in the paper.
+
+Each figure's workloads are defined once here and consumed by both the
+measured harness (:mod:`repro.bench`) and the model-based predictions
+(:mod:`repro.machine.predict`), so the two always describe the same
+experiment.  ``scale`` shrinks tensors volumetrically for the measured runs
+(the paper's 750M-entry tensors need ~6 GiB and a 12-core machine; the
+reduced defaults run in seconds on one core) while preserving mode-count,
+mode-ratio, and rank — the quantities the algorithms' relative behaviour
+depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import prod
+
+__all__ = [
+    "KRPWorkload",
+    "MTTKRPWorkload",
+    "FIG4_WORKLOADS",
+    "FIG5_WORKLOADS",
+    "FMRI_PAPER_4D",
+    "FMRI_REDUCED_4D",
+    "FIG7_RANKS",
+    "scaled_shape",
+    "fig5_shape",
+    "krp_dims",
+]
+
+
+def scaled_shape(shape: tuple[int, ...], scale: float) -> tuple[int, ...]:
+    """Shrink a tensor shape volumetrically by ``scale`` (entries ratio).
+
+    Each mode is scaled by ``scale**(1/N)`` and floored at 2, so the shape
+    keeps its aspect ratio and order.  ``scale=1`` returns the shape
+    unchanged.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if scale == 1.0:
+        return tuple(shape)
+    per_mode = scale ** (1.0 / len(shape))
+    return tuple(max(int(round(s * per_mode)), 2) for s in shape)
+
+
+def fig5_shape(N: int) -> tuple[int, ...]:
+    """The paper's Figure 5 tensor for a mode count: equal dims, ~750M
+    entries (900^3, 165^4, 60^5, 30^6)."""
+    dims = {3: 900, 4: 165, 5: 60, 6: 30}
+    if N not in dims:
+        raise ValueError(f"Figure 5 covers N in 3..6, got {N}")
+    return (dims[N],) * N
+
+
+def krp_dims(Z: int, total_rows: int = 20_000_000) -> tuple[int, ...]:
+    """Figure 4 KRP inputs: ``Z`` equal row dims with product ~``total_rows``."""
+    if Z < 1:
+        raise ValueError(f"Z must be >= 1, got {Z}")
+    d = int(round(total_rows ** (1.0 / Z)))
+    return (max(d, 2),) * Z
+
+
+@dataclass(frozen=True)
+class KRPWorkload:
+    """One Figure 4 configuration."""
+
+    Z: int
+    C: int
+    total_rows: int = 20_000_000
+
+    def dims(self, scale: float = 1.0) -> tuple[int, ...]:
+        """Input row dimensions at a volumetric scale factor."""
+        rows = max(int(self.total_rows * scale), 4)
+        return krp_dims(self.Z, rows)
+
+    @property
+    def label(self) -> str:
+        return f"Z={self.Z}, C={self.C}"
+
+
+@dataclass(frozen=True)
+class MTTKRPWorkload:
+    """One Figure 5/6 configuration (a tensor plus a rank)."""
+
+    N: int
+    C: int = 25
+
+    def shape(self, scale: float = 1.0) -> tuple[int, ...]:
+        """Tensor shape at a volumetric scale factor."""
+        return scaled_shape(fig5_shape(self.N), scale)
+
+    @property
+    def label(self) -> str:
+        base = fig5_shape(self.N)
+        return f"N={self.N} ({base[0]}^{self.N}), C={self.C}"
+
+    def entries(self, scale: float = 1.0) -> int:
+        return prod(self.shape(scale))
+
+
+# Figure 4: Z in {2,3,4} x C in {25,50}; J ~ 2e7 output rows.
+FIG4_WORKLOADS: tuple[KRPWorkload, ...] = tuple(
+    KRPWorkload(Z=Z, C=C) for C in (25, 50) for Z in (2, 3, 4)
+)
+
+# Figures 5/6: N in {3,4,5,6}, ~750M entries, C=25.
+FIG5_WORKLOADS: tuple[MTTKRPWorkload, ...] = tuple(
+    MTTKRPWorkload(N=N) for N in (3, 4, 5, 6)
+)
+
+# The application tensors of Figures 7/8.
+FMRI_PAPER_4D: tuple[int, ...] = (225, 59, 200, 200)
+FMRI_REDUCED_4D: tuple[int, ...] = (60, 16, 48, 48)
+
+# Figure 7 sweeps the CP rank.
+FIG7_RANKS: tuple[int, ...] = (10, 15, 20, 25, 30)

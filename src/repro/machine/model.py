@@ -1,0 +1,268 @@
+"""Roofline-style machine model with thread-scaling curves.
+
+Every phase of every algorithm in this package is characterized (in
+:mod:`repro.core.flops`) by flop and byte counts plus, for matrix
+multiplies, the GEMM shape.  :class:`MachineModel` turns those counts into
+time.  Four empirically motivated effects beyond a textbook roofline are
+modeled, each tied to an observation in the paper:
+
+* **Bandwidth saturation.**  STREAM-like bandwidth ramps roughly linearly
+  with threads until the memory controllers saturate:
+  ``min(T * bw_single, bw_max)``.  On the paper's dual-socket Sandy Bridge
+  the saturation ratio is ~7-8x — exactly the parallel-speedup range the
+  paper reports for the memory-bound KRP (6.6-8.3x at 12 threads).
+* **Write-allocate traffic.**  A streaming store moves its cache line
+  twice (read-for-ownership + writeback), so written bytes are charged
+  ``write_allocate_factor`` (2) times.  This is what puts Algorithm 1's
+  KRP at/below the STREAM curve in Figure 4, as the paper observes.
+* **Shaped GEMM efficiency.**  A narrow output panel (the ``C = 25``
+  columns of every MTTKRP multiply) achieves a fraction
+  ``n / (n + min_gemm_n_half)`` of peak — register/cache blocking cannot
+  amortize across 25 columns.
+* **BLAS parallel scaling.**  Parallelism *inside* one BLAS call scales as
+  ``min(blas_parallel_eff * T, (m*n / blas_tile_area)^blas_scaling_exp)``:
+  a library that declines to split the inner dimension (to avoid reduction
+  temporaries, as the paper conjectures of MKL in Section 5.3.1) can only
+  spread the output tiles across cores, so the inner-product-shaped
+  baseline GEMM (``I_n x 25`` output, enormous k) stops scaling while the
+  2-step algorithm's more square partial MTTKRP keeps scaling.
+
+The model's purpose is to reproduce the *shape* of the paper's figures
+(orderings, ratios, crossovers) at paper scale on hardware that cannot run
+them; the measured benchmarks at reduced scale validate the implementation
+itself.  Constants below are calibrated against the ratios the paper
+reports, not fitted to unavailable raw data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.flops import PhaseCost
+
+__all__ = ["MachineModel", "paper_machine", "host_model_default"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Analytical performance model of a shared-memory machine.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label used in reports.
+    cores:
+        Physical cores available to the benchmark.
+    peak_gflops_per_core:
+        Double-precision peak per core (paper machine: 16 GFLOPS =
+        2.0 GHz x 8 flops/cycle with AVX).
+    gemm_efficiency:
+        Fraction of the shaped peak a large DGEMM achieves per core.
+    stream_gflops_per_core:
+        Arithmetic throughput of *streaming* (non-BLAS) kernels — Hadamard
+        products, gathers, reductions — which run far below GEMM rates.
+    bw_single_gbs / bw_max_gbs:
+        Single-thread and saturated STREAM bandwidth, GB/s.
+    write_allocate_factor:
+        Multiplier on written bytes (2 = read-for-ownership + writeback).
+    min_gemm_n_half:
+        Narrow-panel penalty constant (see module docstring).
+    blas_parallel_eff:
+        Parallel efficiency of a well-shaped multithreaded BLAS call
+        (0.62 x 12 threads ~ 7.4x, the paper's 2-step speedup band).
+    blas_tile_area / blas_scaling_exp:
+        Output-parallelism curve of the BLAS (see module docstring).
+    naive_recompute_penalty:
+        Per-extra-Hadamard slowdown of the naive KRP relative to
+        Algorithm 1 (0.55 reproduces Figure 4's 1.5-2.5x range).
+    region_overhead_us:
+        Per-parallel-region launch/join overhead, microseconds, scaled by
+        ``log2(T)+1``.
+    """
+
+    name: str
+    cores: int
+    peak_gflops_per_core: float
+    gemm_efficiency: float
+    bw_single_gbs: float
+    bw_max_gbs: float
+    stream_gflops_per_core: float = 1.2
+    write_allocate_factor: float = 2.0
+    min_gemm_n_half: float = 12.0
+    blas_parallel_eff: float = 0.62
+    blas_tile_area: float = 260.0
+    blas_scaling_exp: float = 0.44
+    naive_recompute_penalty: float = 0.55
+    matlab_parallel_speedup: float = 2.0
+    region_overhead_us: float = 20.0
+
+    # ------------------------------------------------------------------ #
+    # Rate curves
+    # ------------------------------------------------------------------ #
+
+    def bandwidth(self, threads: int) -> float:
+        """Sustainable bandwidth (bytes/s) with ``threads`` active threads."""
+        threads = self._check_threads(threads)
+        gbs = min(threads * self.bw_single_gbs, self.bw_max_gbs)
+        return gbs * 1e9
+
+    def effective_bytes(self, cost: PhaseCost) -> float:
+        """Traffic including write-allocate on stores."""
+        return cost.read_bytes + self.write_allocate_factor * cost.write_bytes
+
+    def gemm_rate_single(
+        self, gemm_shape: tuple[int, int, int] | None
+    ) -> float:
+        """Single-core achievable flops/s for a GEMM of the given shape."""
+        peak = self.peak_gflops_per_core * 1e9
+        if gemm_shape is None:
+            return self.gemm_efficiency * peak
+        m, n, _k = gemm_shape
+        small = max(min(m, n), 1)
+        return peak * self.gemm_efficiency * small / (small + self.min_gemm_n_half)
+
+    def blas_speedup(
+        self, gemm_shape: tuple[int, int, int] | None, threads: int
+    ) -> float:
+        """Parallel speedup achieved *inside* one BLAS call.
+
+        Capped both by overall BLAS parallel efficiency and by the
+        output-parallelism curve — the term that flattens the baseline's
+        inner-product-shaped GEMM in Figure 5.
+        """
+        threads = self._check_threads(threads)
+        if threads == 1:
+            return 1.0
+        cap = self.blas_parallel_eff * threads
+        if gemm_shape is not None:
+            m, n, _k = gemm_shape
+            tiles = max((m * n) / self.blas_tile_area, 1.0)
+            cap = min(cap, tiles**self.blas_scaling_exp)
+        return max(cap, 1.0)
+
+    def region_overhead(self, threads: int) -> float:
+        """Seconds of launch/join overhead for one parallel region."""
+        threads = self._check_threads(threads)
+        if threads == 1:
+            return 0.0
+        levels = 1 + (threads - 1).bit_length()
+        return self.region_overhead_us * 1e-6 * levels
+
+    # ------------------------------------------------------------------ #
+    # Phase-time primitives (used by repro.machine.predict)
+    # ------------------------------------------------------------------ #
+
+    def stream_time(self, cost: PhaseCost, threads: int) -> float:
+        """Streaming-kernel time: additive compute + traffic.
+
+        Streaming kernels (KRP, reductions, copies) interleave arithmetic
+        with stores and do not overlap them the way a blocked GEMM does, so
+        the additive combination fits measured behaviour better than a
+        roofline max.
+        """
+        threads = self._check_threads(threads)
+        t_cmp = cost.flops / (threads * self.stream_gflops_per_core * 1e9)
+        t_mem = self.effective_bytes(cost) / self.bandwidth(threads)
+        return t_cmp + t_mem + self.region_overhead(threads)
+
+    def blas_time(self, cost: PhaseCost, threads: int) -> float:
+        """Time of a phase parallelized only inside a BLAS call."""
+        t_cmp = cost.flops / self.gemm_rate_single(cost.gemm_shape)
+        t_mem = self.effective_bytes(cost) / self.bandwidth(1)
+        seq = max(t_cmp, t_mem)
+        return seq / self.blas_speedup(cost.gemm_shape, threads)
+
+    def explicit_time(
+        self,
+        cost: PhaseCost,
+        threads: int,
+        per_thread_gemm_shape: tuple[int, int, int] | None = None,
+    ) -> float:
+        """Time of a phase the algorithm parallelizes itself (k-split with
+        private outputs): linear compute scaling at shaped single-core rate,
+        bandwidth-roofline on traffic."""
+        threads = self._check_threads(threads)
+        shape = per_thread_gemm_shape or cost.gemm_shape
+        t_cmp = cost.flops / (threads * self.gemm_rate_single(shape))
+        t_mem = self.effective_bytes(cost) / self.bandwidth(threads)
+        return max(t_cmp, t_mem) + self.region_overhead(threads)
+
+    def matlab_time(self, cost: PhaseCost, threads: int) -> float:
+        """Time of a phase executed by Matlab's implicitly multithreaded
+        built-ins (``permute``, vectorized elementwise code).
+
+        Matlab parallelizes these internally but saturates quickly; the
+        paper's measured CP-ALS gap (6.7-7.4x at 12 threads, <= 2x
+        sequentially) pins the effective saturation near
+        ``matlab_parallel_speedup`` (~2x)."""
+        threads = self._check_threads(threads)
+        speedup = min(float(threads), self.matlab_parallel_speedup)
+        return self.serial_time(cost) / max(speedup, 1.0)
+
+    def serial_time(self, cost: PhaseCost) -> float:
+        """Time of a single-threaded phase."""
+        if cost.gemm_shape is not None:
+            t_cmp = cost.flops / self.gemm_rate_single(cost.gemm_shape)
+        else:
+            t_cmp = cost.flops / (self.stream_gflops_per_core * 1e9)
+        t_mem = self.effective_bytes(cost) / self.bandwidth(1)
+        return max(t_cmp, t_mem) if cost.gemm_shape is not None else t_cmp + t_mem
+
+    def with_cores(self, cores: int) -> "MachineModel":
+        """Copy of the model restricted/extended to ``cores`` cores."""
+        if cores <= 0:
+            raise ValueError(f"cores must be positive, got {cores}")
+        return replace(self, cores=int(cores))
+
+    # ------------------------------------------------------------------ #
+
+    def _check_threads(self, threads: int) -> int:
+        threads = int(threads)
+        if threads <= 0:
+            raise ValueError(f"threads must be positive, got {threads}")
+        if threads > self.cores:
+            raise ValueError(
+                f"model {self.name!r} has {self.cores} cores; "
+                f"cannot run {threads} threads"
+            )
+        return threads
+
+
+def paper_machine() -> MachineModel:
+    """The paper's platform: dual-socket Xeon E5-2620 (Sandy Bridge), MKL.
+
+    12 cores at 2.0 GHz (turbo off), 16 GFLOPS/core peak.  The remaining
+    constants are calibrated so the model lands inside every quantitative
+    band the paper reports (see ``tests/test_machine_paper_bands.py``):
+    KRP speedup 6.6-8.3x, 1-step speedup 8-12x, 2-step 6-8x, baseline
+    within [-25%, +3%] of 2-step sequentially, 1-step <= 2x baseline
+    sequentially, and 2-4.7x advantage over the baseline at 12 threads for
+    N > 3.
+    """
+    return MachineModel(
+        name="2x Intel Xeon E5-2620 (paper)",
+        cores=12,
+        peak_gflops_per_core=16.0,
+        gemm_efficiency=0.88,
+        bw_single_gbs=4.0,
+        bw_max_gbs=30.0,
+    )
+
+
+def host_model_default() -> MachineModel:
+    """A conservative fallback model of the current host.
+
+    Prefer :func:`repro.machine.calibrate.calibrate_host_model`, which
+    measures the host; this default exists so model-based reports work
+    without running microbenchmarks.
+    """
+    import os
+
+    return MachineModel(
+        name="host (uncalibrated default)",
+        cores=os.cpu_count() or 1,
+        peak_gflops_per_core=10.0,
+        gemm_efficiency=0.8,
+        bw_single_gbs=8.0,
+        bw_max_gbs=24.0,
+    )

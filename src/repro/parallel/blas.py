@@ -1,0 +1,143 @@
+"""Best-effort control of the BLAS library's internal thread count.
+
+The paper combines OpenMP threading *outside* BLAS with multithreaded BLAS
+*inside* single calls (the 2-step algorithm's parallelism is entirely inside
+its one big GEMM).  To reproduce that split we need to set the BLAS thread
+count at runtime.  NumPy offers no portable API, so we locate the OpenBLAS
+control functions with :mod:`ctypes` in the already-loaded shared objects.
+
+Everything here degrades gracefully: if no known BLAS is found the setters
+become no-ops and :func:`get_blas_threads` returns ``None``, which the
+benchmark harness reports so results are interpretable.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import ctypes.util
+import glob
+import os
+import threading
+from contextlib import contextmanager
+
+__all__ = ["set_blas_threads", "get_blas_threads", "blas_threads"]
+
+_lock = threading.Lock()
+_lib: ctypes.CDLL | None = None
+_searched = False
+
+
+def _candidate_paths() -> list[str]:
+    """Shared objects that may expose openblas_set_num_threads."""
+    paths: list[str] = []
+    try:
+        import numpy
+
+        numpy_dir = os.path.dirname(numpy.__file__)
+        for pattern in (
+            os.path.join(numpy_dir, ".libs", "*openblas*"),
+            os.path.join(numpy_dir, "..", "numpy.libs", "*openblas*"),
+            os.path.join(numpy_dir, "..", "scipy_openblas64", "lib", "*.so*"),
+            os.path.join(numpy_dir, "..", "scipy_openblas32", "lib", "*.so*"),
+        ):
+            paths.extend(sorted(glob.glob(pattern)))
+    except Exception:  # pragma: no cover - numpy always importable here
+        pass
+    # Already-mapped libraries (covers system OpenBLAS).
+    try:
+        with open("/proc/self/maps") as fh:
+            for line in fh:
+                part = line.strip().split()
+                if part and "openblas" in part[-1].lower():
+                    paths.append(part[-1])
+    except OSError:  # pragma: no cover - non-Linux
+        pass
+    found = ctypes.util.find_library("openblas")
+    if found:
+        paths.append(found)
+    # Preserve order, drop duplicates.
+    seen: set[str] = set()
+    unique = []
+    for p in paths:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    return unique
+
+
+def _load() -> ctypes.CDLL | None:
+    global _lib, _searched
+    with _lock:
+        if _searched:
+            return _lib
+        _searched = True
+        for path in _candidate_paths():
+            try:
+                lib = ctypes.CDLL(path)
+            except OSError:
+                continue
+            for name in (
+                "openblas_set_num_threads64_",
+                "openblas_set_num_threads",
+            ):
+                if hasattr(lib, name):
+                    _lib = lib
+                    return _lib
+        return None
+
+
+def _symbols(lib: ctypes.CDLL) -> tuple:
+    if hasattr(lib, "openblas_set_num_threads64_"):
+        return (
+            lib.openblas_set_num_threads64_,
+            getattr(lib, "openblas_get_num_threads64_", None),
+        )
+    return (
+        lib.openblas_set_num_threads,
+        getattr(lib, "openblas_get_num_threads", None),
+    )
+
+
+def set_blas_threads(n: int) -> bool:
+    """Request that BLAS use ``n`` threads for subsequent calls.
+
+    Returns ``True`` if a control function was found and invoked, ``False``
+    if thread control is unavailable (the request is then a no-op).
+    """
+    n = int(n)
+    if n <= 0:
+        raise ValueError(f"thread count must be positive, got {n}")
+    lib = _load()
+    if lib is None:
+        return False
+    setter, _ = _symbols(lib)
+    setter(ctypes.c_int(n))
+    return True
+
+
+def get_blas_threads() -> int | None:
+    """Current BLAS thread count, or ``None`` when control is unavailable."""
+    lib = _load()
+    if lib is None:
+        return None
+    _, getter = _symbols(lib)
+    if getter is None:
+        return None
+    getter.restype = ctypes.c_int
+    return int(getter())
+
+
+@contextmanager
+def blas_threads(n: int):
+    """Context manager scoping a BLAS thread count, restoring the prior one.
+
+    >>> with blas_threads(1):
+    ...     pass  # BLAS calls in here are single-threaded (if controllable)
+    """
+    previous = get_blas_threads()
+    set_blas_threads(n)
+    try:
+        yield
+    finally:
+        if previous is not None:
+            set_blas_threads(previous)

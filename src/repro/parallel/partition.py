@@ -1,0 +1,69 @@
+"""Static contiguous partitioning of iteration spaces.
+
+The paper assigns work to threads in contiguous blocks (rows of the KRP
+output, columns of a matricization, matricization blocks).  Algorithm 3
+uses the block size ``b = ceil(I/T)``; :func:`contiguous_blocks` implements
+that schedule, degenerating gracefully when ``T`` exceeds the item count
+(trailing threads receive empty ranges, exactly as an OpenMP static schedule
+would leave them idle).
+"""
+
+from __future__ import annotations
+
+__all__ = ["contiguous_blocks", "block_bounds", "owner_of"]
+
+
+def contiguous_blocks(num_items: int, num_parts: int) -> list[tuple[int, int]]:
+    """Split ``range(num_items)`` into ``num_parts`` contiguous half-open
+    ranges using the ceiling-block schedule ``b = ceil(num_items/num_parts)``.
+
+    Every returned range satisfies ``0 <= start <= stop <= num_items``; the
+    ranges are disjoint, ordered, and their union is the full range.  Ranges
+    may be empty when ``num_parts > num_items``.
+
+    >>> contiguous_blocks(10, 3)
+    [(0, 4), (4, 8), (8, 10)]
+    >>> contiguous_blocks(2, 4)
+    [(0, 1), (1, 2), (2, 2), (2, 2)]
+    """
+    num_items = int(num_items)
+    num_parts = int(num_parts)
+    if num_items < 0:
+        raise ValueError(f"num_items must be non-negative, got {num_items}")
+    if num_parts <= 0:
+        raise ValueError(f"num_parts must be positive, got {num_parts}")
+    if num_items == 0:
+        return [(0, 0)] * num_parts
+    b = -(-num_items // num_parts)  # ceil division
+    out = []
+    for t in range(num_parts):
+        start = min(t * b, num_items)
+        stop = min(start + b, num_items)
+        out.append((start, stop))
+    return out
+
+
+def block_bounds(num_items: int, num_parts: int, part: int) -> tuple[int, int]:
+    """The ``part``-th range of :func:`contiguous_blocks`, computed directly."""
+    num_items = int(num_items)
+    num_parts = int(num_parts)
+    part = int(part)
+    if not 0 <= part < num_parts:
+        raise ValueError(f"part {part} out of range [0, {num_parts})")
+    if num_items == 0:
+        return (0, 0)
+    if num_items < 0:
+        raise ValueError(f"num_items must be non-negative, got {num_items}")
+    b = -(-num_items // num_parts)
+    start = min(part * b, num_items)
+    return (start, min(start + b, num_items))
+
+
+def owner_of(item: int, num_items: int, num_parts: int) -> int:
+    """Index of the part owning ``item`` under the ceiling-block schedule."""
+    num_items = int(num_items)
+    item = int(item)
+    if not 0 <= item < num_items:
+        raise ValueError(f"item {item} out of range [0, {num_items})")
+    b = -(-num_items // int(num_parts))
+    return item // b

@@ -1,0 +1,13 @@
+"""Reference implementations of "existing software" comparators.
+
+The paper benchmarks against Matlab Tensor Toolbox's ``cp_als`` (Figure 7).
+Matlab is not available offline, so :mod:`repro.reference.tensor_toolbox`
+re-implements, faithfully, what Tensor Toolbox computes for dense tensors:
+MTTKRP via explicit permute+reshape matricization plus an explicit full KRP
+and a single GEMM, with parallelism only inside BLAS — the computational
+profile that the paper's speedups are measured against.
+"""
+
+from repro.reference.tensor_toolbox import cp_als_ttb, mttkrp_ttb
+
+__all__ = ["mttkrp_ttb", "cp_als_ttb"]

@@ -1,0 +1,292 @@
+"""Dense N-way tensor in the paper's natural (generalized column-major) layout.
+
+:class:`DenseTensor` stores tensor entries in a flat 1-D buffer using the
+linearization of Section 2.1: entry ``(i_0, ..., i_{N-1})`` lives at offset
+``l = sum_n i_n * I^L_n`` (mode 0 fastest; Fortran order in numpy terms).
+
+The entire point of this class — and of the paper's algorithms — is that with
+this single fixed layout, every matricization the MTTKRP algorithms need is a
+**zero-copy numpy view** of the buffer:
+
+* ``X_(0)``  is column-major                       (:meth:`unfold_mode0`);
+* ``X_(N-1)`` is row-major                         (:meth:`unfold_last`);
+* ``X_(n)`` for internal ``n`` is a contiguous sequence of ``I^R_n``
+  row-major ``I_n x I^L_n`` blocks                 (:meth:`mode_blocks_view`);
+* ``X_(0:n)`` (modes ``0..n`` mapped to rows) is column-major
+                                                   (:meth:`unfold_front`);
+* ``X_(0:n-1)^T`` is row-major — it is simply ``unfold_front(n-1).T``.
+
+No method of this class ever copies the tensor data; the explicit
+(reordering) unfoldings used by the baseline algorithm live in
+:mod:`repro.tensor.matricize` instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.tensor.layout import mode_products
+from repro.util import human_bytes, prod
+from repro.util.validation import check_mode
+
+__all__ = ["DenseTensor"]
+
+
+class DenseTensor:
+    """A dense N-way tensor stored in natural layout.
+
+    Parameters
+    ----------
+    data:
+        Either a 1-D array of length ``prod(shape)`` already in natural
+        layout, or an N-D array whose conventional numpy indexing
+        ``data[i0, ..., iN-1]`` matches the tensor's entries (it will be
+        flattened in Fortran order, copying only if necessary).
+    shape:
+        Tensor dimensions ``(I_0, ..., I_{N-1})``.  Required when ``data``
+        is 1-D; inferred (and checked, if also given) when ``data`` is N-D.
+    dtype:
+        Optional dtype override; defaults to ``data``'s dtype (typically
+        ``float64``, matching the paper's double-precision experiments).
+
+    Notes
+    -----
+    The flat buffer is always C-contiguous 1-D; "Fortran order" lives purely
+    in the index arithmetic.  ``DenseTensor`` is intentionally *not* an
+    ndarray subclass: the algorithms in :mod:`repro.core` only consume the
+    specific views exposed here, and keeping the surface small makes the
+    layout invariants easy to audit.
+    """
+
+    __slots__ = ("_data", "_shape")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        shape: Sequence[int] | None = None,
+        dtype: np.dtype | type | None = None,
+    ) -> None:
+        arr = np.asarray(data, dtype=dtype)
+        if arr.ndim == 1:
+            if shape is None:
+                raise ValueError("shape is required when data is 1-D")
+            shape = tuple(int(s) for s in shape)
+            if prod(shape) != arr.size:
+                raise ValueError(
+                    f"data has {arr.size} entries but shape {shape} implies "
+                    f"{prod(shape)}"
+                )
+            flat = np.ascontiguousarray(arr)
+        else:
+            if shape is not None and tuple(int(s) for s in shape) != arr.shape:
+                raise ValueError(
+                    f"explicit shape {tuple(shape)} does not match data shape "
+                    f"{arr.shape}"
+                )
+            shape = arr.shape
+            # Fortran-order ravel realizes the natural linearization
+            # (mode 0 fastest).  This is the only place construction may copy.
+            flat = arr.ravel(order="F")
+            flat = np.ascontiguousarray(flat)
+        if len(shape) == 0:
+            raise ValueError("0-way tensors are not supported")
+        for n, s in enumerate(shape):
+            if s <= 0:
+                raise ValueError(f"mode {n} has non-positive size {s}")
+        self._data = flat
+        self._shape = tuple(shape)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Tensor dimensions ``(I_0, ..., I_{N-1})``."""
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of modes ``N``."""
+        return len(self._shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of entries ``I``."""
+        return self._data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Entry dtype."""
+        return self._data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Buffer size in bytes."""
+        return self._data.nbytes
+
+    @property
+    def data(self) -> np.ndarray:
+        """The flat natural-layout buffer (1-D, C-contiguous).
+
+        Mutating this array mutates the tensor.
+        """
+        return self._data
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(s) for s in self._shape)
+        return (
+            f"DenseTensor({dims}, dtype={self.dtype.name}, "
+            f"{human_bytes(self.nbytes)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Conversion and element access
+    # ------------------------------------------------------------------ #
+
+    def to_ndarray(self) -> np.ndarray:
+        """Return an N-D view with conventional numpy indexing semantics.
+
+        The returned array is a zero-copy Fortran-ordered view; element
+        ``(i0, ..., iN-1)`` equals the tensor entry at that multi-index.
+        """
+        return self._data.reshape(self._shape, order="F")
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        arr = self.to_ndarray()
+        if dtype is not None:
+            arr = arr.astype(dtype, copy=False)
+        if copy:
+            arr = arr.copy()
+        return arr
+
+    def __getitem__(self, key):
+        return self.to_ndarray()[key]
+
+    def __setitem__(self, key, value) -> None:
+        self.to_ndarray()[key] = value
+
+    def copy(self) -> "DenseTensor":
+        """Deep copy of the tensor."""
+        return DenseTensor(self._data.copy(), self._shape)
+
+    def astype(self, dtype) -> "DenseTensor":
+        """Copy with converted dtype."""
+        return DenseTensor(self._data.astype(dtype), self._shape)
+
+    def norm(self) -> float:
+        """Frobenius norm of the tensor."""
+        return float(np.linalg.norm(self._data))
+
+    # ------------------------------------------------------------------ #
+    # Zero-copy matricization views (the paper's Figure 2)
+    # ------------------------------------------------------------------ #
+
+    def unfold_front(self, n: int) -> np.ndarray:
+        """``X_(0:n)``: modes ``0..n`` as rows, modes ``n+1..N-1`` as columns.
+
+        The result is a **column-major (Fortran-contiguous) zero-copy view**
+        of shape ``(I_0 * ... * I_n, I_{n+1} * ... * I_{N-1})``.  This is the
+        matrix the 2-step algorithm multiplies by the right partial KRP with
+        one BLAS call (Figure 3a).  For ``n == N-1`` the column count is 1.
+
+        ``X_(0:n-1)^T``, the row-major matrix used by the *left* partial
+        MTTKRP (Figure 3c), is simply ``unfold_front(n-1).T``.
+        """
+        n = check_mode(n, self.ndim)
+        rows = prod(self._shape[: n + 1])
+        cols = self.size // rows
+        view = self._data.reshape((rows, cols), order="F")
+        assert view.base is not None or view is self._data  # zero-copy
+        return view
+
+    def unfold_mode0(self) -> np.ndarray:
+        """``X_(0)`` as a column-major zero-copy view (``I_0 x I_{!=0}``).
+
+        Mode-0 MTTKRP is a single BLAS call on this view (Alg. 2 line 4).
+        """
+        return self.unfold_front(0)
+
+    def unfold_last(self) -> np.ndarray:
+        """``X_(N-1)`` as a **row-major** zero-copy view (``I_{N-1} x I^L``).
+
+        The mode-``N-1`` matricization with natural layout is row-major, so
+        MTTKRP for the last mode is also a single BLAS call.
+        """
+        last = self.ndim - 1
+        rows = self._shape[last]
+        cols = self.size // rows
+        return self._data.reshape((rows, cols))  # C order
+
+    def mode_blocks_view(self, n: int) -> np.ndarray:
+        """``X_(n)`` as ``I^R_n`` contiguous row-major blocks (Figure 2).
+
+        Returns a zero-copy 3-D view of shape ``(I^R_n, I_n, I^L_n)`` where
+        ``view[j]`` is the ``j``-th column block of the mode-``n``
+        matricization: an ``I_n x I^L_n`` **row-major** matrix.  Each block
+        multiply in the 1-step algorithm (Alg. 2 line 9 / Alg. 3 line 16) is
+        a BLAS call on ``view[j]``.
+
+        Valid for every mode; for ``n == 0`` blocks have one column and for
+        ``n == N-1`` there is a single block (equal to :meth:`unfold_last`).
+        """
+        n = check_mode(n, self.ndim)
+        p = mode_products(self._shape, n)
+        return self._data.reshape((p.right, p.size, p.left))  # C order
+
+    def fiber(self, n: int, fixed: Sequence[int]) -> np.ndarray:
+        """A single mode-``n`` fiber as a strided zero-copy view.
+
+        Parameters
+        ----------
+        n:
+            The free mode.
+        fixed:
+            Multi-index of length ``N-1`` giving the fixed indices of the
+            remaining modes, in increasing mode order.
+        """
+        n = check_mode(n, self.ndim)
+        if len(fixed) != self.ndim - 1:
+            raise ValueError(
+                f"fixed must have {self.ndim - 1} components, got {len(fixed)}"
+            )
+        key = list(fixed)
+        key.insert(n, slice(None))
+        return self.to_ndarray()[tuple(key)]
+
+    # ------------------------------------------------------------------ #
+    # Structural operations (these allocate new tensors)
+    # ------------------------------------------------------------------ #
+
+    def permute(self, order: Sequence[int]) -> "DenseTensor":
+        """Reorder modes (generalized transpose).  Copies the data.
+
+        This is exactly the operation the paper's algorithms avoid; it is
+        provided for the explicit-reorder baseline and for tests.
+        """
+        order = tuple(int(o) for o in order)
+        if sorted(order) != list(range(self.ndim)):
+            raise ValueError(f"order must be a permutation of modes, got {order}")
+        return DenseTensor(np.transpose(self.to_ndarray(), order))
+
+    def reshape_modes(self, new_shape: Sequence[int]) -> "DenseTensor":
+        """Reinterpret the flat buffer under a different mode structure.
+
+        The natural layout makes this free (no data movement) as long as the
+        total entry count matches — e.g. merging adjacent modes.  Used by the
+        fMRI pipeline to linearize the two region modes.
+        """
+        new_shape = tuple(int(s) for s in new_shape)
+        if prod(new_shape) != self.size:
+            raise ValueError(
+                f"cannot reshape {self.size} entries to shape {new_shape}"
+            )
+        return DenseTensor(self._data, new_shape)
+
+    def allclose(self, other: "DenseTensor", **kwargs) -> bool:
+        """Elementwise comparison helper for tests."""
+        if not isinstance(other, DenseTensor) or self.shape != other.shape:
+            return False
+        return bool(np.allclose(self._data, other._data, **kwargs))

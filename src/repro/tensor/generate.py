@@ -1,0 +1,129 @@
+"""Tensor generators: random dense tensors and planted Kruskal (CP) models.
+
+These are the workload generators for the synthetic experiments (Figures
+4-6 use random dense tensors of ~equal mode sizes; the CP-recovery tests and
+the fMRI substrate use planted low-rank models plus noise).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.tensor.dense import DenseTensor
+from repro.util import prod
+from repro.util.validation import check_factor_matrices
+
+__all__ = ["random_tensor", "random_factors", "from_kruskal", "add_noise"]
+
+
+def random_tensor(
+    shape: Sequence[int],
+    rng: np.random.Generator | int | None = None,
+    dtype=np.float64,
+    distribution: str = "uniform",
+) -> DenseTensor:
+    """Dense tensor with i.i.d. random entries in natural layout.
+
+    Parameters
+    ----------
+    shape:
+        Tensor dimensions.
+    rng:
+        :class:`numpy.random.Generator`, an integer seed, or ``None`` for
+        nondeterministic seeding.
+    dtype:
+        Floating dtype of the entries.
+    distribution:
+        ``"uniform"`` (entries in ``[0, 1)``, as in typical MTTKRP
+        benchmarks) or ``"normal"`` (standard Gaussian).
+    """
+    rng = np.random.default_rng(rng)
+    size = prod(tuple(int(s) for s in shape))
+    if distribution == "uniform":
+        data = rng.random(size, dtype=np.float64)
+    elif distribution == "normal":
+        data = rng.standard_normal(size)
+    else:
+        raise ValueError(f"unknown distribution {distribution!r}")
+    return DenseTensor(data.astype(dtype, copy=False), shape)
+
+
+def random_factors(
+    shape: Sequence[int],
+    rank: int,
+    rng: np.random.Generator | int | None = None,
+    dtype=np.float64,
+    distribution: str = "uniform",
+) -> list[np.ndarray]:
+    """One random ``I_n x C`` factor matrix per mode.
+
+    The matrices are C-contiguous (row-major), matching how factor matrices
+    are stored and traversed row-wise by the KRP algorithms.
+    """
+    rng = np.random.default_rng(rng)
+    rank = int(rank)
+    if rank <= 0:
+        raise ValueError(f"rank must be positive, got {rank}")
+    factors = []
+    for s in shape:
+        if distribution == "uniform":
+            f = rng.random((int(s), rank), dtype=np.float64)
+        elif distribution == "normal":
+            f = rng.standard_normal((int(s), rank))
+        else:
+            raise ValueError(f"unknown distribution {distribution!r}")
+        factors.append(np.ascontiguousarray(f.astype(dtype, copy=False)))
+    return factors
+
+
+def from_kruskal(
+    factors: Sequence[np.ndarray],
+    weights: np.ndarray | None = None,
+) -> DenseTensor:
+    """Materialize the dense tensor of a Kruskal (CP) model.
+
+    ``X(i_0, .., i_{N-1}) = sum_c w_c * prod_n U_n(i_n, c)`` — the
+    reconstruction in Figure 1 of the paper.  Built as ``X_(0) = U_0 *
+    diag(w) * (U_{N-1} krp ... krp U_1)^T`` using the same KRP machinery the
+    algorithms use, then folded for free thanks to the natural layout.
+    """
+    shape = tuple(int(np.asarray(f).shape[0]) for f in factors)
+    rank = check_factor_matrices(list(factors), shape)
+    if weights is None:
+        weights = np.ones(rank)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (rank,):
+        raise ValueError(
+            f"weights must have shape ({rank},), got {weights.shape}"
+        )
+    # Local import: repro.core imports repro.tensor, so defer to avoid a cycle.
+    from repro.core.krp import khatri_rao
+
+    first = np.asarray(factors[0]) * weights  # fold weights into mode 0
+    if len(factors) == 1:
+        mat = first.sum(axis=1)[:, None]
+        return DenseTensor(mat.ravel(order="F"), shape)
+    rest = khatri_rao([np.asarray(f) for f in reversed(factors[1:])])
+    mat = first @ rest.T  # X_(0), column order = natural layout of modes 1..
+    return DenseTensor(mat.ravel(order="F"), shape)
+
+
+def add_noise(
+    tensor: DenseTensor,
+    snr_db: float,
+    rng: np.random.Generator | int | None = None,
+) -> DenseTensor:
+    """Add Gaussian noise at a prescribed signal-to-noise ratio (in dB).
+
+    Used by the fMRI substrate and the CP-recovery examples.  The returned
+    tensor satisfies ``10*log10(|X|^2 / |E|^2) ~= snr_db`` in expectation.
+    """
+    rng = np.random.default_rng(rng)
+    noise = rng.standard_normal(tensor.size)
+    signal_norm = tensor.norm()
+    if signal_norm == 0.0:
+        raise ValueError("cannot set an SNR on an all-zero tensor")
+    noise *= signal_norm / np.linalg.norm(noise) * 10.0 ** (-snr_db / 20.0)
+    return DenseTensor(tensor.data + noise.astype(tensor.dtype), tensor.shape)

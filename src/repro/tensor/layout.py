@@ -1,0 +1,285 @@
+"""Index arithmetic for the natural (generalized column-major) tensor layout.
+
+The paper (Section 2.1) linearizes the entry at multi-index
+``(i_0, ..., i_{N-1})`` of an ``I_0 x ... x I_{N-1}`` tensor to
+
+    l = sum_{n in [N]} i_n * I^L_n,
+
+where ``I^L_n = prod_{k < n} I_k`` is the product of the mode sizes to the
+*left* of mode ``n``.  Mode 0 therefore varies fastest — the layout is the
+N-way generalization of column-major matrix order (Fortran order in numpy
+terms).
+
+This module provides the mode-size products used throughout the MTTKRP
+algorithms:
+
+* ``I^L_n`` (:func:`left_product`) — product of modes left of ``n``;
+* ``I^R_n`` (:func:`right_product`) — product of modes right of ``n``;
+* ``I_{!=n}`` — product of all modes but ``n`` (via :func:`mode_products`);
+
+plus linearize/delinearize conversions and :class:`MultiIndex`, the odometer
+style multi-index used by the row-wise Khatri-Rao product (Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import prod
+
+__all__ = [
+    "left_product",
+    "right_product",
+    "mode_products",
+    "ModeProducts",
+    "linearize",
+    "delinearize",
+    "linearize_many",
+    "delinearize_many",
+    "MultiIndex",
+]
+
+
+def _check_shape(shape: Sequence[int]) -> tuple[int, ...]:
+    shape = tuple(int(s) for s in shape)
+    if len(shape) == 0:
+        raise ValueError("tensor shape must have at least one mode")
+    for n, s in enumerate(shape):
+        if s <= 0:
+            raise ValueError(f"mode {n} has non-positive size {s}")
+    return shape
+
+
+def left_product(shape: Sequence[int], mode: int) -> int:
+    """``I^L_n``: product of mode sizes strictly left of ``mode``.
+
+    >>> left_product((2, 3, 4), 2)
+    6
+    >>> left_product((2, 3, 4), 0)
+    1
+    """
+    shape = _check_shape(shape)
+    if not 0 <= mode < len(shape):
+        raise ValueError(f"mode {mode} out of range for shape {shape}")
+    return prod(shape[:mode])
+
+
+def right_product(shape: Sequence[int], mode: int) -> int:
+    """``I^R_n``: product of mode sizes strictly right of ``mode``.
+
+    >>> right_product((2, 3, 4), 0)
+    12
+    >>> right_product((2, 3, 4), 2)
+    1
+    """
+    shape = _check_shape(shape)
+    if not 0 <= mode < len(shape):
+        raise ValueError(f"mode {mode} out of range for shape {shape}")
+    return prod(shape[mode + 1 :])
+
+
+@dataclass(frozen=True)
+class ModeProducts:
+    """All layout products for one mode of a tensor shape.
+
+    Attributes
+    ----------
+    mode:
+        The mode index ``n``.
+    size:
+        ``I_n``, the size of the mode itself.
+    left:
+        ``I^L_n``, product of modes left of ``n`` (1 for ``n == 0``).
+    right:
+        ``I^R_n``, product of modes right of ``n`` (1 for ``n == N-1``).
+    other:
+        ``I_{!=n} = I^L_n * I^R_n``, product of all modes but ``n`` — the
+        number of mode-``n`` fibers, i.e. the column count of ``X_(n)``.
+    total:
+        ``I``, total number of tensor entries.
+    """
+
+    mode: int
+    size: int
+    left: int
+    right: int
+    other: int
+    total: int
+
+
+def mode_products(shape: Sequence[int], mode: int) -> ModeProducts:
+    """Compute :class:`ModeProducts` for ``mode`` of ``shape``.
+
+    >>> mode_products((2, 3, 4), 1)
+    ModeProducts(mode=1, size=3, left=2, right=4, other=8, total=24)
+    """
+    shape = _check_shape(shape)
+    if not 0 <= mode < len(shape):
+        raise ValueError(f"mode {mode} out of range for shape {shape}")
+    left = prod(shape[:mode])
+    right = prod(shape[mode + 1 :])
+    return ModeProducts(
+        mode=mode,
+        size=shape[mode],
+        left=left,
+        right=right,
+        other=left * right,
+        total=left * shape[mode] * right,
+    )
+
+
+def linearize(index: Sequence[int], shape: Sequence[int]) -> int:
+    """Map a multi-index to its natural-layout linear offset.
+
+    Implements ``l = sum_n i_n * I^L_n`` (mode 0 fastest).
+
+    >>> linearize((1, 2, 3), (2, 3, 4))
+    23
+    """
+    shape = _check_shape(shape)
+    if len(index) != len(shape):
+        raise ValueError(
+            f"index has {len(index)} components but shape has {len(shape)} modes"
+        )
+    offset = 0
+    stride = 1
+    for i, s in zip(index, shape):
+        i = int(i)
+        if not 0 <= i < s:
+            raise ValueError(f"index component {i} out of range [0, {s})")
+        offset += i * stride
+        stride *= s
+    return offset
+
+
+def delinearize(offset: int, shape: Sequence[int]) -> tuple[int, ...]:
+    """Inverse of :func:`linearize`.
+
+    >>> delinearize(23, (2, 3, 4))
+    (1, 2, 3)
+    """
+    shape = _check_shape(shape)
+    total = prod(shape)
+    offset = int(offset)
+    if not 0 <= offset < total:
+        raise ValueError(f"offset {offset} out of range [0, {total})")
+    index = []
+    for s in shape:
+        index.append(offset % s)
+        offset //= s
+    return tuple(index)
+
+
+def linearize_many(indices: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Vectorized :func:`linearize` for an ``(M, N)`` array of multi-indices."""
+    shape = _check_shape(shape)
+    indices = np.asarray(indices)
+    if indices.ndim != 2 or indices.shape[1] != len(shape):
+        raise ValueError(
+            f"indices must be (M, {len(shape)}), got shape {indices.shape}"
+        )
+    strides = np.empty(len(shape), dtype=np.int64)
+    stride = 1
+    for n, s in enumerate(shape):
+        strides[n] = stride
+        stride *= s
+    return indices @ strides
+
+
+def delinearize_many(offsets: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Vectorized :func:`delinearize`: ``(M,)`` offsets to ``(M, N)`` indices."""
+    shape = _check_shape(shape)
+    offsets = np.asarray(offsets, dtype=np.int64).copy()
+    out = np.empty((offsets.shape[0], len(shape)), dtype=np.int64)
+    for n, s in enumerate(shape):
+        out[:, n] = offsets % s
+        offsets //= s
+    return out
+
+
+class MultiIndex:
+    """Odometer-style multi-index over a mixed-radix space.
+
+    This is the multi-index ``l`` of Algorithm 1 in the paper.  The row-wise
+    Khatri-Rao product enumerates rows of the output matrix; row ``j``
+    corresponds to one row index into each input matrix.  Critically for the
+    *parallel* KRP, a :class:`MultiIndex` can be initialized at an arbitrary
+    starting row (each thread starts at its block's first row).
+
+    The ordering matches the KRP row-index convention
+    ``j = r_A * I_B * I_C + r_B * I_C + r_C`` for ``K = A (krp) B (krp) C``:
+    the **last** radix varies fastest.  (Note this is the reverse of the
+    tensor linearization above, where mode 0 varies fastest; the KRP of
+    factor matrices for mode-``n`` MTTKRP takes its inputs in reversed mode
+    order, which is exactly what makes the two conventions line up.)
+
+    Parameters
+    ----------
+    radices:
+        Sizes of each digit position (row counts of the KRP input matrices,
+        in KRP order: leftmost input = slowest digit).
+    start:
+        Initial flat position (default 0).
+
+    Examples
+    --------
+    >>> m = MultiIndex((2, 3))
+    >>> [tuple(m.digits) for _ in range(3) if m.increment() or True]
+    [(0, 1), (0, 2), (1, 0)]
+    """
+
+    __slots__ = ("radices", "digits", "position", "_changed_from")
+
+    def __init__(self, radices: Sequence[int], start: int = 0) -> None:
+        self.radices = tuple(int(r) for r in radices)
+        if len(self.radices) == 0:
+            raise ValueError("radices must be non-empty")
+        for r in self.radices:
+            if r <= 0:
+                raise ValueError(f"all radices must be positive, got {r}")
+        total = prod(self.radices)
+        start = int(start)
+        if not 0 <= start < total:
+            raise ValueError(f"start {start} out of range [0, {total})")
+        self.position = start
+        # Decompose start with the LAST radix fastest.
+        digits = []
+        rem = start
+        for r in reversed(self.radices):
+            digits.append(rem % r)
+            rem //= r
+        self.digits = list(reversed(digits))
+        self._changed_from = 0  # all digits considered fresh initially
+
+    @property
+    def total(self) -> int:
+        """Total number of positions in the mixed-radix space."""
+        return prod(self.radices)
+
+    def increment(self) -> int:
+        """Advance to the next position and return the smallest digit index
+        that changed.
+
+        The return value tells Algorithm 1 which partial Hadamard products
+        must be recomputed: if digit ``d`` changed then all partial products
+        involving digits ``>= d`` are stale.  Incrementing past the last
+        position wraps to zero (returns 0).
+        """
+        self.position = (self.position + 1) % self.total
+        for d in range(len(self.radices) - 1, -1, -1):
+            self.digits[d] += 1
+            if self.digits[d] < self.radices[d]:
+                self._changed_from = d
+                return d
+            self.digits[d] = 0
+        self._changed_from = 0
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MultiIndex(radices={self.radices}, digits={tuple(self.digits)}, "
+            f"position={self.position})"
+        )

@@ -1,0 +1,97 @@
+"""Explicit tensor matricizations (unfoldings) that *reorder* entries.
+
+The paper's algorithms never reorder tensor entries; these routines exist to
+implement the straightforward baseline of Bader & Kolda (Section 2.3) — form
+``X_(n)`` explicitly, form the KRP explicitly, and do one GEMM — and to give
+the test-suite an independent reference for the zero-copy views in
+:class:`repro.tensor.dense.DenseTensor`.
+
+Conventions match Section 2.1 of the paper: ``X_(n)`` is ``I_n x I_{!=n}``
+and its columns are ordered by the natural linearization of the remaining
+modes (lower modes vary fastest).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.tensor.dense import DenseTensor
+from repro.util import prod
+from repro.util.validation import check_mode
+
+__all__ = ["unfold_explicit", "fold_explicit", "unfold_front_explicit"]
+
+
+def unfold_explicit(tensor: DenseTensor, n: int, order: str = "C") -> np.ndarray:
+    """Form the mode-``n`` matricization ``X_(n)`` as a new dense matrix.
+
+    This **copies and reorders** tensor entries (the memory-bound operation
+    the paper's algorithms avoid) for every mode except those whose
+    matricization is already contiguous.
+
+    Parameters
+    ----------
+    tensor:
+        Input tensor.
+    n:
+        Mode to map to rows.
+    order:
+        Memory order of the result, ``"C"`` (row-major) or ``"F"``
+        (column-major).  The baseline MTTKRP uses column-major to feed a
+        single textbook GEMM.
+
+    Returns
+    -------
+    numpy.ndarray
+        Contiguous ``I_n x I_{!=n}`` matrix.
+    """
+    n = check_mode(n, tensor.ndim)
+    if order not in ("C", "F"):
+        raise ValueError(f"order must be 'C' or 'F', got {order!r}")
+    arr = tensor.to_ndarray()
+    moved = np.moveaxis(arr, n, 0)
+    # Fortran-order ravel of the trailing axes keeps lower modes fastest,
+    # matching the natural linearization of the column modes.
+    mat = moved.reshape((tensor.shape[n], -1), order="F")
+    return np.asarray(mat, order=order)
+
+
+def fold_explicit(
+    matrix: np.ndarray, n: int, shape: Sequence[int]
+) -> DenseTensor:
+    """Inverse of :func:`unfold_explicit`: rebuild the tensor from ``X_(n)``."""
+    shape = tuple(int(s) for s in shape)
+    n = check_mode(n, len(shape))
+    matrix = np.asarray(matrix)
+    expected = (shape[n], prod(shape) // shape[n])
+    if matrix.shape != expected:
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match mode-{n} unfolding "
+            f"{expected} of tensor shape {shape}"
+        )
+    rest = tuple(s for k, s in enumerate(shape) if k != n)
+    moved = matrix.reshape((shape[n],) + rest, order="F")
+    arr = np.moveaxis(moved, 0, n)
+    return DenseTensor(arr, shape)
+
+
+def unfold_front_explicit(tensor: DenseTensor, n: int) -> np.ndarray:
+    """Explicit-copy reference for ``X_(0:n)`` (used only by tests).
+
+    Returns a freshly allocated column-major matrix equal to
+    :meth:`repro.tensor.dense.DenseTensor.unfold_front`, built through
+    independent index arithmetic so the two implementations can be checked
+    against each other.
+    """
+    n = check_mode(n, tensor.ndim)
+    rows = prod(tensor.shape[: n + 1])
+    cols = tensor.size // rows
+    out = np.empty((rows, cols), order="F", dtype=tensor.dtype)
+    arr = tensor.to_ndarray()
+    # Row index linearizes modes 0..n (mode 0 fastest); column index
+    # linearizes modes n+1..N-1 (mode n+1 fastest).
+    flat = arr.ravel(order="F")
+    out[...] = flat.reshape((rows, cols), order="F")
+    return out

@@ -1,0 +1,61 @@
+"""Tensor-times-matrix (TTM) without reordering entries.
+
+``Y = X x_n M`` is defined by ``Y_(n) = M^T X_(n)`` (Section 2.1).  The
+paper cites TTM work (Li et al. [14], Austin et al. [5]) as the origin of
+the block-matricization idea reused by 1-step MTTKRP; we implement TTM with
+the same zero-copy block views, both because the Tucker-style substrate is
+useful in its own right (e.g. HOSVD-flavoured CP initialization) and because
+it exercises the identical layout machinery from an independent direction in
+the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.dense import DenseTensor
+from repro.util.validation import check_mode
+
+__all__ = ["ttm"]
+
+
+def ttm(tensor: DenseTensor, matrix: np.ndarray, n: int) -> DenseTensor:
+    """Multiply mode ``n`` of ``tensor`` by ``matrix`` (``Y_(n) = M^T X_(n)``).
+
+    The mode-``n`` size changes from ``I_n`` to ``M.shape[1]``; all other
+    modes are untouched.  Internally one GEMM per ``I^R_n`` block of the
+    matricization view, writing each output block directly into the natural
+    layout of the result — no tensor entries are reordered.
+
+    Parameters
+    ----------
+    tensor:
+        Input tensor.
+    matrix:
+        ``I_n x J`` matrix (note the orientation: *columns* index the new
+        mode size, matching ``Y_(n) = M^T X_(n)``).
+    n:
+        Contraction mode.
+    """
+    n = check_mode(n, tensor.ndim)
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got ndim={matrix.ndim}")
+    if matrix.shape[0] != tensor.shape[n]:
+        raise ValueError(
+            f"matrix has {matrix.shape[0]} rows but mode-{n} size is "
+            f"{tensor.shape[n]}"
+        )
+    J = matrix.shape[1]
+    blocks = tensor.mode_blocks_view(n)  # (IRn, In, ILn), each block row-major
+    new_shape = tensor.shape[:n] + (J,) + tensor.shape[n + 1 :]
+    out_flat = np.empty(
+        blocks.shape[0] * J * blocks.shape[2],
+        dtype=np.result_type(tensor.dtype, matrix.dtype),
+    )
+    out_blocks = out_flat.reshape((blocks.shape[0], J, blocks.shape[2]))
+    mt = np.ascontiguousarray(matrix.T)  # J x In, one small copy
+    for j in range(blocks.shape[0]):
+        # (J x In) @ (In x ILn), both row-major: a single GEMM per block.
+        np.matmul(mt, blocks[j], out=out_blocks[j])
+    return DenseTensor(out_flat, new_shape)

@@ -1,0 +1,29 @@
+"""Small shared utilities used across the package.
+
+This subpackage deliberately has no dependencies on the rest of
+:mod:`repro` so that every other subpackage may import it freely.
+"""
+
+from repro.util.misc import (
+    human_bytes,
+    human_count,
+    prod,
+)
+from repro.util.validation import (
+    check_factor_matrices,
+    check_mode,
+    check_positive_int,
+    check_rank_consistent,
+    check_same_columns,
+)
+
+__all__ = [
+    "prod",
+    "human_bytes",
+    "human_count",
+    "check_positive_int",
+    "check_mode",
+    "check_same_columns",
+    "check_factor_matrices",
+    "check_rank_consistent",
+]

@@ -1,0 +1,59 @@
+"""Miscellaneous helpers: integer products and human-readable sizes."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+__all__ = ["prod", "human_bytes", "human_count"]
+
+
+def prod(values: Iterable[int]) -> int:
+    """Exact integer product of an iterable (empty product is 1).
+
+    ``numpy.prod`` silently overflows on large shapes because it computes in
+    a fixed-width integer dtype; tensor layouts routinely multiply many mode
+    sizes together, so we always use Python's arbitrary-precision integers.
+
+    Parameters
+    ----------
+    values:
+        Iterable of integers (e.g. a tensor shape or a slice of one).
+
+    Returns
+    -------
+    int
+        The product, ``1`` for an empty iterable.
+    """
+    return math.prod(values)
+
+
+_BYTE_UNITS = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"]
+
+
+def human_bytes(n: int | float) -> str:
+    """Format a byte count with a binary-prefix unit, e.g. ``"1.50 GiB"``.
+
+    Used by benchmark harnesses and error messages; never used in hot paths.
+    """
+    n = float(n)
+    if n < 0:
+        return "-" + human_bytes(-n)
+    for unit in _BYTE_UNITS:
+        if n < 1024.0 or unit == _BYTE_UNITS[-1]:
+            if unit == "B":
+                return f"{int(n)} {unit}"
+            return f"{n:.2f} {unit}"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def human_count(n: int | float) -> str:
+    """Format a large count with an SI suffix, e.g. ``"7.5e8" -> "750.0M"``."""
+    n = float(n)
+    if n < 0:
+        return "-" + human_count(-n)
+    for value, suffix in [(1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")]:
+        if n >= value:
+            return f"{n / value:.1f}{suffix}"
+    return f"{n:.0f}"

@@ -1,0 +1,112 @@
+"""Phase-level wall-clock timing used for the paper's breakdown figures.
+
+Figures 6 and 8 decompose MTTKRP time into phases (DGEMM, Full KRP,
+Left & Right KRP, REDUCE, DGEMV).  The algorithm implementations accept an
+optional :class:`PhaseTimer` and wrap each phase in ``with timer.phase(...)``;
+passing ``None`` costs one attribute check per phase.
+
+Thread-safety: phases may be entered concurrently from pool workers (e.g.
+each thread's KRP block).  Concurrent spans of the same phase are merged by
+accumulating *inclusive* wall time per entry; for the breakdown figures the
+harness times phases from the orchestrating thread only, which matches how
+the paper instruments its OpenMP regions (region-level timers).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = ["PhaseTimer", "wall_time"]
+
+
+def wall_time() -> float:
+    """Monotonic wall-clock seconds (the benchmark clock)."""
+    return time.perf_counter()
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase.
+
+    Examples
+    --------
+    >>> t = PhaseTimer()
+    >>> with t.phase("gemm"):
+    ...     pass
+    >>> sorted(t.totals) == ["gemm"]
+    True
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager accumulating the enclosed wall time into ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self.totals[name] = self.totals.get(name, 0.0) + elapsed
+                self.counts[name] = self.counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually accumulate time into a phase."""
+        with self._lock:
+            self.totals[name] = self.totals.get(name, 0.0) + float(seconds)
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self) -> float:
+        """Sum of all phase totals."""
+        with self._lock:
+            return sum(self.totals.values())
+
+    def reset(self) -> None:
+        """Drop all accumulated data."""
+        with self._lock:
+            self.totals.clear()
+            self.counts.clear()
+
+    def merged(self, other: "PhaseTimer") -> "PhaseTimer":
+        """New timer with phase totals summed across ``self`` and ``other``."""
+        out = PhaseTimer()
+        for src in (self, other):
+            with src._lock:
+                for k, v in src.totals.items():
+                    out.totals[k] = out.totals.get(k, 0.0) + v
+                for k, c in src.counts.items():
+                    out.counts[k] = out.counts.get(k, 0) + c
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v:.4f}s" for k, v in sorted(self.totals.items()))
+        return f"PhaseTimer({body})"
+
+
+class _NullPhase:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class NullTimer:
+    """Timer stub whose :meth:`phase` is free; used when timing is off."""
+
+    def phase(self, name: str):  # noqa: ARG002 - interface compatibility
+        return _NULL_PHASE
+
+    def add(self, name: str, seconds: float) -> None:  # noqa: ARG002
+        pass
+
+
+NULL_TIMER = NullTimer()

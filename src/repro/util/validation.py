@@ -1,0 +1,124 @@
+"""Argument validation helpers.
+
+All public entry points in :mod:`repro` validate their inputs with these
+helpers so that user errors surface as clear :class:`ValueError` /
+:class:`TypeError` messages rather than as shape errors deep inside BLAS
+calls.  The helpers are cheap (O(N) in the number of modes, never O(data)),
+so they are safe to call even in performance-sensitive code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_positive_int",
+    "check_mode",
+    "check_same_columns",
+    "check_factor_matrices",
+    "check_rank_consistent",
+]
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as ``int``.
+
+    Accepts numpy integer scalars (common when sizes come from ``shape``
+    tuples of numpy arrays).
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_mode(mode: int, ndim: int) -> int:
+    """Validate a mode index against a tensor order, supporting negatives.
+
+    Parameters
+    ----------
+    mode:
+        Requested mode; negative values index from the end as in numpy.
+    ndim:
+        Number of tensor modes.
+
+    Returns
+    -------
+    int
+        The normalized (non-negative) mode index.
+    """
+    if isinstance(mode, bool) or not isinstance(mode, (int, np.integer)):
+        raise TypeError(f"mode must be an integer, got {type(mode).__name__}")
+    mode = int(mode)
+    if mode < -ndim or mode >= ndim:
+        raise ValueError(f"mode {mode} out of range for an order-{ndim} tensor")
+    return mode % ndim
+
+
+def check_same_columns(matrices: Sequence[np.ndarray], name: str = "matrices") -> int:
+    """Validate that all matrices are 2-D with a common column count.
+
+    Returns
+    -------
+    int
+        The shared number of columns ``C``.
+    """
+    if len(matrices) == 0:
+        raise ValueError(f"{name} must be non-empty")
+    ncols = None
+    for i, m in enumerate(matrices):
+        m = np.asarray(m)
+        if m.ndim != 2:
+            raise ValueError(
+                f"{name}[{i}] must be 2-D, got array of ndim={m.ndim}"
+            )
+        if ncols is None:
+            ncols = m.shape[1]
+        elif m.shape[1] != ncols:
+            raise ValueError(
+                f"{name} must share a column count: {name}[0] has {ncols} "
+                f"columns but {name}[{i}] has {m.shape[1]}"
+            )
+    assert ncols is not None
+    return int(ncols)
+
+
+def check_factor_matrices(
+    factors: Sequence[np.ndarray], shape: Sequence[int]
+) -> int:
+    """Validate CP factor matrices against a tensor shape.
+
+    Each ``factors[n]`` must be a 2-D array with ``shape[n]`` rows, and all
+    factors must share a column count (the CP rank).
+
+    Returns
+    -------
+    int
+        The shared rank ``C``.
+    """
+    if len(factors) != len(shape):
+        raise ValueError(
+            f"expected {len(shape)} factor matrices (one per mode), "
+            f"got {len(factors)}"
+        )
+    rank = check_same_columns(factors, "factors")
+    for n, (f, dim) in enumerate(zip(factors, shape)):
+        if np.asarray(f).shape[0] != dim:
+            raise ValueError(
+                f"factors[{n}] must have {dim} rows to match tensor mode {n}, "
+                f"got {np.asarray(f).shape[0]}"
+            )
+    return rank
+
+
+def check_rank_consistent(rank: int, factors: Sequence[np.ndarray]) -> int:
+    """Validate an explicit rank against factor matrices' column counts."""
+    rank = check_positive_int(rank, "rank")
+    actual = check_same_columns(factors, "factors")
+    if actual != rank:
+        raise ValueError(f"factors have {actual} columns but rank={rank} given")
+    return rank

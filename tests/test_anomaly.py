@@ -1,0 +1,116 @@
+"""Tests for residual-based slice anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro.cpd.anomaly import (
+    anomaly_scores,
+    detect_anomalies,
+    slice_residual_norms,
+)
+from repro.cpd.cp_als import cp_als
+from repro.cpd.kruskal import KruskalTensor
+from repro.tensor.dense import DenseTensor
+from repro.tensor.generate import from_kruskal, random_factors
+
+
+def _model_and_tensor(shape=(12, 10, 8), rank=3, seed=0):
+    U = random_factors(shape, rank, rng=seed)
+    model = KruskalTensor(U)
+    return model, model.full()
+
+
+class TestSliceResidualNorms:
+    def test_exact_model_zero_residuals(self):
+        model, X = _model_and_tensor()
+        for mode in range(3):
+            r = slice_residual_norms(X, model, mode, relative=False)
+            assert r.shape == (X.shape[mode],)
+            np.testing.assert_allclose(r, 0.0, atol=1e-8)
+
+    def test_matches_dense_computation(self, rng):
+        model, clean = _model_and_tensor(seed=1)
+        noisy = DenseTensor(
+            clean.data + 0.1 * rng.standard_normal(clean.size), clean.shape
+        )
+        for mode in range(3):
+            r = slice_residual_norms(noisy, model, mode, relative=False)
+            resid = model.full().to_ndarray() - noisy.to_ndarray()
+            for i in range(noisy.shape[mode]):
+                sl = np.take(resid, i, axis=mode)
+                assert r[i] == pytest.approx(np.linalg.norm(sl), rel=1e-10)
+
+    def test_relative_normalization(self, rng):
+        model, clean = _model_and_tensor(seed=2)
+        noisy = DenseTensor(
+            clean.data + 0.05 * rng.standard_normal(clean.size), clean.shape
+        )
+        rel = slice_residual_norms(noisy, model, 0, relative=True)
+        absn = slice_residual_norms(noisy, model, 0, relative=False)
+        dat = noisy.to_ndarray()
+        for i in range(3):
+            dn = np.linalg.norm(np.take(dat, i, axis=0))
+            assert rel[i] == pytest.approx(absn[i] / dn, rel=1e-10)
+
+    def test_zero_slice_handling(self):
+        # A slice of zeros exactly modeled -> relative residual 0.
+        U = [np.ones((4, 1)), np.ones((5, 1)), np.ones((6, 1))]
+        U[0][2] = 0.0
+        model = KruskalTensor(U)
+        X = from_kruskal(U)
+        r = slice_residual_norms(X, model, 0)
+        assert r[2] == 0.0
+
+    def test_shape_mismatch(self):
+        model, X = _model_and_tensor()
+        other = DenseTensor(np.zeros((12, 10, 9)))
+        with pytest.raises(ValueError, match="shape"):
+            slice_residual_norms(other, model, 0)
+
+    def test_not_a_tensor(self, rng):
+        model, _ = _model_and_tensor()
+        with pytest.raises(TypeError, match="DenseTensor"):
+            slice_residual_norms(rng.random((12, 10, 8)), model, 0)
+
+
+class TestDetection:
+    def _corrupted(self, mode=0, bad=(3, 7), seed=4):
+        model, clean = _model_and_tensor(shape=(16, 12, 10), seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        arr = clean.to_ndarray().copy()
+        arr += 0.01 * rng.standard_normal(arr.shape)
+        for i in bad:
+            sl = [slice(None)] * 3
+            sl[mode] = i
+            arr[tuple(sl)] += 2.0 * rng.standard_normal(
+                arr[tuple(sl)].shape
+            )
+        return model, DenseTensor(arr)
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_injected_slices_found(self, mode):
+        model, X = self._corrupted(mode=mode)
+        found = detect_anomalies(X, model, mode)
+        assert set(found) == {3, 7}
+
+    def test_scores_standardized(self):
+        model, X = self._corrupted()
+        s = anomaly_scores(X, model, 0)
+        normal = np.delete(s, [3, 7])
+        assert np.abs(np.median(normal)) < 1.0
+        assert s[3] > 3.5 and s[7] > 3.5
+
+    def test_no_anomalies_in_clean_data(self, rng):
+        model, clean = _model_and_tensor(shape=(16, 12, 10), seed=9)
+        noisy = DenseTensor(
+            clean.data + 0.01 * rng.standard_normal(clean.size), clean.shape
+        )
+        assert detect_anomalies(noisy, model, 0).size == 0
+
+    def test_end_to_end_with_fitted_model(self):
+        """Fit CP on corrupted data, then detect the corrupted subjects —
+        the workflow of Sun, Tao & Faloutsos the paper's intro cites."""
+        model, X = self._corrupted(mode=1, bad=(5,), seed=11)
+        res = cp_als(X, 3, n_iter_max=80, tol=1e-9, rng=12)
+        found = detect_anomalies(X, res.model, 1, threshold=3.0)
+        assert 5 in found

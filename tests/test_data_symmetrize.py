@@ -1,0 +1,116 @@
+"""Tests for the symmetric linearization (4-way -> 3-way fMRI transform)."""
+
+import numpy as np
+import pytest
+
+from repro.data.symmetrize import (
+    expand_symmetric,
+    linearize_symmetric,
+    upper_triangle_indices,
+)
+from repro.tensor.dense import DenseTensor
+
+
+def _symmetric_tensor(lead, R, seed=0):
+    rng = np.random.default_rng(seed)
+    arr = rng.random(lead + (R, R))
+    arr = 0.5 * (arr + np.swapaxes(arr, -1, -2))
+    return DenseTensor(arr)
+
+
+class TestUpperTriangleIndices:
+    def test_count_strict(self):
+        assert len(upper_triangle_indices(200)) == 19900  # paper's value
+
+    def test_count_with_diagonal(self):
+        assert len(upper_triangle_indices(4, include_diagonal=True)) == 10
+
+    def test_sorted_and_valid(self):
+        idx = upper_triangle_indices(5)
+        assert np.all(np.diff(idx) > 0)
+        i, j = idx % 5, idx // 5
+        assert np.all(i < j)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            upper_triangle_indices(0)
+
+
+class TestLinearizeSymmetric:
+    def test_paper_shape_transform(self):
+        X = _symmetric_tensor((5, 3), 6)
+        Y = linearize_symmetric(X)
+        assert Y.shape == (5, 3, 15)  # C(6,2) = 15
+
+    def test_halves_entry_count_approximately(self):
+        X = _symmetric_tensor((2,), 20)
+        Y = linearize_symmetric(X)
+        ratio = X.size / Y.size
+        assert 2.0 < ratio < 2.2  # paper: 'a factor of 2'
+
+    def test_values_match_pairs(self):
+        X = _symmetric_tensor((3,), 4, seed=1)
+        Y = linearize_symmetric(X)
+        arr = X.to_ndarray()
+        idx = upper_triangle_indices(4)
+        pairs = [(int(l % 4), int(l // 4)) for l in idx]
+        for p, (i, j) in enumerate(pairs):
+            np.testing.assert_array_equal(Y.to_ndarray()[:, p], arr[:, i, j])
+
+    def test_include_diagonal(self):
+        X = _symmetric_tensor((2,), 3)
+        Y = linearize_symmetric(X, include_diagonal=True)
+        assert Y.shape == (2, 6)
+
+    def test_asymmetric_rejected(self, rng):
+        arr = rng.random((3, 4, 4))
+        with pytest.raises(ValueError, match="not symmetric"):
+            linearize_symmetric(DenseTensor(arr))
+
+    def test_check_false_forces(self, rng):
+        arr = rng.random((3, 4, 4))
+        Y = linearize_symmetric(DenseTensor(arr), check=False)
+        assert Y.shape == (3, 6)
+
+    def test_nonsquare_rejected(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            linearize_symmetric(DenseTensor(rng.random((3, 4, 5))))
+
+    def test_too_few_modes(self):
+        with pytest.raises(ValueError, match="two modes"):
+            linearize_symmetric(DenseTensor(np.ones(4), (4,)))
+
+
+class TestExpandSymmetric:
+    def test_roundtrip_offdiagonal(self):
+        X = _symmetric_tensor((3, 2), 5, seed=2)
+        Y = linearize_symmetric(X)
+        back = expand_symmetric(Y, 5)
+        arr, rec = X.to_ndarray(), back.to_ndarray()
+        i, j = np.triu_indices(5, k=1)
+        np.testing.assert_allclose(rec[..., i, j], arr[..., i, j])
+        np.testing.assert_allclose(rec[..., j, i], arr[..., j, i])
+
+    def test_diagonal_fill(self):
+        X = _symmetric_tensor((2,), 4)
+        back = expand_symmetric(linearize_symmetric(X), 4, diagonal_value=1.0)
+        rec = back.to_ndarray()
+        for k in range(4):
+            np.testing.assert_array_equal(rec[:, k, k], 1.0)
+
+    def test_roundtrip_with_diagonal(self):
+        X = _symmetric_tensor((2,), 4, seed=5)
+        Y = linearize_symmetric(X, include_diagonal=True)
+        back = expand_symmetric(Y, 4, include_diagonal=True)
+        assert back.allclose(X)
+
+    def test_wrong_pair_count(self):
+        X = _symmetric_tensor((2,), 4)
+        Y = linearize_symmetric(X)
+        with pytest.raises(ValueError, match="expected"):
+            expand_symmetric(Y, 5)
+
+    def test_result_symmetric(self):
+        X = _symmetric_tensor((2,), 4, seed=7)
+        rec = expand_symmetric(linearize_symmetric(X), 4).to_ndarray()
+        np.testing.assert_allclose(rec, np.swapaxes(rec, -1, -2))

@@ -1,0 +1,200 @@
+"""Tests for DenseTensor: construction, views, and layout invariants."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import linearize, mode_products
+from repro.util import prod
+
+
+class TestConstruction:
+    def test_from_ndarray(self, rng):
+        arr = rng.random((3, 4, 5))
+        X = DenseTensor(arr)
+        assert X.shape == (3, 4, 5)
+        assert X.size == 60
+        np.testing.assert_array_equal(X.to_ndarray(), arr)
+
+    def test_from_flat(self, rng):
+        flat = rng.random(24)
+        X = DenseTensor(flat, (2, 3, 4))
+        np.testing.assert_array_equal(X.data, flat)
+
+    def test_flat_requires_shape(self, rng):
+        with pytest.raises(ValueError, match="shape is required"):
+            DenseTensor(rng.random(24))
+
+    def test_flat_wrong_size(self, rng):
+        with pytest.raises(ValueError, match="entries"):
+            DenseTensor(rng.random(23), (2, 3, 4))
+
+    def test_ndarray_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="does not match"):
+            DenseTensor(rng.random((2, 3)), (3, 2))
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ValueError):
+            DenseTensor(np.zeros(0), (0, 3))
+
+    def test_natural_layout_is_fortran_ravel(self, rng):
+        arr = rng.random((3, 4, 5))
+        X = DenseTensor(arr)
+        for idx in [(0, 0, 0), (1, 2, 3), (2, 3, 4)]:
+            assert X.data[linearize(idx, X.shape)] == arr[idx]
+
+    def test_dtype_override(self, rng):
+        X = DenseTensor(rng.random((2, 3)), dtype=np.float32)
+        assert X.dtype == np.float32
+
+    def test_repr(self, rng):
+        assert "2x3" in repr(DenseTensor(rng.random((2, 3))))
+
+
+class TestElementAccess:
+    def test_getitem_setitem(self, rng):
+        X = DenseTensor(rng.random((3, 4)))
+        X[1, 2] = 42.0
+        assert X[1, 2] == 42.0
+        assert X.to_ndarray()[1, 2] == 42.0
+
+    def test_array_protocol(self, rng):
+        arr = rng.random((3, 4))
+        X = DenseTensor(arr)
+        np.testing.assert_array_equal(np.asarray(X), arr)
+
+    def test_copy_is_independent(self, rng):
+        X = DenseTensor(rng.random((3, 4)))
+        Y = X.copy()
+        Y[0, 0] = -1.0
+        assert X[0, 0] != -1.0
+
+    def test_astype(self, rng):
+        X = DenseTensor(rng.random((3, 4)))
+        assert X.astype(np.float32).dtype == np.float32
+
+    def test_norm(self, rng):
+        arr = rng.random((3, 4, 5))
+        X = DenseTensor(arr)
+        assert np.isclose(X.norm(), np.linalg.norm(arr))
+
+    def test_allclose(self, rng):
+        arr = rng.random((3, 4))
+        assert DenseTensor(arr).allclose(DenseTensor(arr.copy()))
+        assert not DenseTensor(arr).allclose(DenseTensor(arr + 1))
+        assert not DenseTensor(arr).allclose(DenseTensor(arr.T))
+
+
+class TestViews:
+    """The zero-copy matricization views of Figure 2."""
+
+    def test_unfold_front_values(self, rng):
+        arr = rng.random((3, 4, 5))
+        X = DenseTensor(arr)
+        M = X.unfold_front(1)  # modes 0,1 rows; mode 2 cols
+        assert M.shape == (12, 5)
+        for i, j, k in np.ndindex(3, 4, 5):
+            assert M[i + 3 * j, k] == arr[i, j, k]
+
+    def test_unfold_front_is_view(self, rng):
+        X = DenseTensor(rng.random((3, 4, 5)))
+        M = X.unfold_front(1)
+        assert M.base is X.data or M.base is X.data.base
+        M[0, 0] = 99.0
+        assert X[0, 0, 0] == 99.0
+
+    def test_unfold_front_fortran_contiguous(self, rng):
+        X = DenseTensor(rng.random((3, 4, 5)))
+        assert X.unfold_front(1).flags.f_contiguous
+
+    def test_unfold_front_last_mode(self, rng):
+        X = DenseTensor(rng.random((3, 4)))
+        M = X.unfold_front(1)
+        assert M.shape == (12, 1)
+
+    def test_unfold_mode0(self, rng):
+        arr = rng.random((3, 4, 5))
+        X = DenseTensor(arr)
+        M = X.unfold_mode0()
+        assert M.shape == (3, 20)
+        assert M.flags.f_contiguous
+        # Column order: lower remaining modes fastest.
+        for j, k in np.ndindex(4, 5):
+            np.testing.assert_array_equal(M[:, j + 4 * k], arr[:, j, k])
+
+    def test_unfold_last_row_major(self, rng):
+        arr = rng.random((3, 4, 5))
+        X = DenseTensor(arr)
+        M = X.unfold_last()
+        assert M.shape == (5, 12)
+        assert M.flags.c_contiguous
+        for i, j in np.ndindex(3, 4):
+            np.testing.assert_array_equal(M[:, i + 3 * j], arr[i, j, :])
+
+    def test_mode_blocks_view_structure(self, rng):
+        arr = rng.random((3, 4, 5))
+        X = DenseTensor(arr)
+        blocks = X.mode_blocks_view(1)
+        p = mode_products(X.shape, 1)
+        assert blocks.shape == (p.right, p.size, p.left) == (5, 4, 3)
+        # block j, row i_n, col l == X(l, i_n, j) for 3-way.
+        for k in range(5):
+            for j in range(4):
+                for i in range(3):
+                    assert blocks[k, j, i] == arr[i, j, k]
+
+    def test_mode_blocks_are_row_major_views(self, rng):
+        X = DenseTensor(rng.random((3, 4, 5)))
+        blocks = X.mode_blocks_view(1)
+        assert blocks[2].flags.c_contiguous
+        assert blocks.base is X.data or blocks.base is X.data.base
+
+    def test_mode_blocks_mode0_and_last(self, rng):
+        X = DenseTensor(rng.random((3, 4, 5)))
+        b0 = X.mode_blocks_view(0)
+        assert b0.shape == (20, 3, 1)
+        blast = X.mode_blocks_view(2)
+        assert blast.shape == (1, 5, 12)
+        np.testing.assert_array_equal(blast[0], X.unfold_last())
+
+    def test_fiber(self, rng):
+        arr = rng.random((3, 4, 5))
+        X = DenseTensor(arr)
+        np.testing.assert_array_equal(X.fiber(1, (2, 3)), arr[2, :, 3])
+
+    def test_fiber_wrong_length(self, rng):
+        X = DenseTensor(rng.random((3, 4, 5)))
+        with pytest.raises(ValueError, match="components"):
+            X.fiber(1, (2,))
+
+
+class TestStructuralOps:
+    def test_permute(self, rng):
+        arr = rng.random((3, 4, 5))
+        X = DenseTensor(arr).permute((2, 0, 1))
+        assert X.shape == (5, 3, 4)
+        np.testing.assert_array_equal(X.to_ndarray(), np.transpose(arr, (2, 0, 1)))
+
+    def test_permute_invalid(self, rng):
+        with pytest.raises(ValueError, match="permutation"):
+            DenseTensor(rng.random((3, 4))).permute((0, 0))
+
+    def test_reshape_modes_merges_for_free(self, rng):
+        arr = rng.random((3, 4, 5))
+        X = DenseTensor(arr)
+        Y = X.reshape_modes((12, 5))
+        # Merging leading modes: Y(i + 3j, k) == X(i, j, k).
+        for i, j, k in np.ndindex(3, 4, 5):
+            assert Y[i + 3 * j, k] == arr[i, j, k]
+
+    def test_reshape_modes_size_mismatch(self, rng):
+        with pytest.raises(ValueError, match="reshape"):
+            DenseTensor(rng.random((3, 4))).reshape_modes((5, 3))
+
+    def test_unfold_front_equals_reshape_composition(self, rng):
+        # X_(0:n) of the merged tensor equals the merged unfold — the layout
+        # identity the 2-step algorithm and the fMRI pipeline both rely on.
+        arr = rng.random((2, 3, 4, 5))
+        X = DenseTensor(arr)
+        merged = X.reshape_modes((6, 4, 5))
+        np.testing.assert_array_equal(X.unfold_front(1), merged.unfold_front(0))

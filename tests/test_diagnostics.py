@@ -1,0 +1,85 @@
+"""Tests for congruence and factor match score."""
+
+import numpy as np
+import pytest
+
+from repro.cpd.diagnostics import (
+    congruence_matrix,
+    factor_match_score,
+    fit_score,
+)
+from repro.cpd.kruskal import KruskalTensor
+from repro.tensor.generate import random_factors
+
+
+def _model(shape=(5, 6, 7), rank=3, seed=0, weights=None):
+    return KruskalTensor(random_factors(shape, rank, rng=seed), weights)
+
+
+class TestCongruence:
+    def test_self_congruence_diagonal_one(self):
+        m = _model()
+        C = congruence_matrix(m, m)
+        np.testing.assert_allclose(np.diag(C), 1.0)
+
+    def test_bounded(self):
+        C = congruence_matrix(_model(seed=0), _model(seed=9))
+        assert np.all(np.abs(C) <= 1.0 + 1e-12)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shapes"):
+            congruence_matrix(_model(), _model(shape=(5, 6, 8)))
+
+
+class TestFactorMatchScore:
+    def test_identical_models(self):
+        m = _model()
+        assert factor_match_score(m, m) == pytest.approx(1.0)
+
+    def test_permutation_invariance(self):
+        m = _model(weights=np.array([3.0, 2.0, 1.0]))
+        perm = [2, 0, 1]
+        permuted = KruskalTensor(
+            [f[:, perm] for f in m.factors], m.weights[perm]
+        )
+        assert factor_match_score(permuted, m) == pytest.approx(1.0)
+
+    def test_scaling_invariance(self):
+        m = _model()
+        # Scale mode-0 columns up and mode-1 columns down: same model.
+        scaled = KruskalTensor(
+            [m.factors[0] * 2.0, m.factors[1] / 2.0, m.factors[2]],
+            m.weights,
+        )
+        assert factor_match_score(scaled, m) == pytest.approx(1.0)
+
+    def test_sign_flips_allowed(self):
+        m = _model()
+        flipped = KruskalTensor(
+            [-m.factors[0], -m.factors[1], m.factors[2]], m.weights
+        )
+        assert factor_match_score(flipped, m) == pytest.approx(1.0)
+
+    def test_different_models_score_below_one(self):
+        score = factor_match_score(_model(seed=0), _model(seed=99))
+        assert score < 0.9
+
+    def test_weight_penalty(self):
+        m = _model(weights=np.ones(3))
+        heavier = KruskalTensor(
+            [f.copy() for f in m.factors], 2.0 * np.ones(3)
+        )
+        with_penalty = factor_match_score(heavier, m, weight_penalty=True)
+        without = factor_match_score(heavier, m, weight_penalty=False)
+        assert with_penalty == pytest.approx(0.5)
+        assert without == pytest.approx(1.0)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError, match="rank"):
+            factor_match_score(_model(rank=2), _model(rank=3))
+
+
+def test_fit_score_alias():
+    m = _model()
+    X = m.full()
+    assert fit_score(m, X) == pytest.approx(m.fit(X))

@@ -1,0 +1,159 @@
+"""Tests for the dimension-tree (all-modes MTTKRP) extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.dimtree import (
+    left_partial,
+    node_mttkrp,
+    right_partial,
+    split_point,
+)
+from repro.cpd.cp_als import cp_als
+from repro.tensor.generate import random_factors, random_tensor
+from repro.util.timing import PhaseTimer
+from tests.conftest import mttkrp_oracle
+
+SHAPES = [(4, 5, 6), (3, 4, 5, 6), (2, 3, 4, 3, 2), (7, 3)]
+
+
+def _case(shape, rank=5, seed=0):
+    return (
+        random_tensor(shape, rng=seed),
+        random_factors(shape, rank, rng=seed + 1),
+    )
+
+
+class TestSplitPoint:
+    def test_values(self):
+        assert split_point(2) == 1
+        assert split_point(3) == 2
+        assert split_point(4) == 2
+        assert split_point(5) == 3
+
+    def test_bounds(self):
+        for N in range(2, 8):
+            m = split_point(N)
+            assert 1 <= m <= N - 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            split_point(1)
+
+
+class TestPartials:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_left_partial_every_left_mode(self, shape):
+        X, U = _case(shape)
+        N = len(shape)
+        for m in range(1, N):
+            TL = left_partial(X, U, m)
+            assert TL.shape == shape[:m] + (5,)
+            for n in range(m):
+                np.testing.assert_allclose(
+                    node_mttkrp(TL, U[:m], keep=n),
+                    mttkrp_oracle(X, U, n),
+                    atol=1e-9,
+                )
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_right_partial_every_right_mode(self, shape):
+        X, U = _case(shape)
+        N = len(shape)
+        for m in range(1, N):
+            TR = right_partial(X, U, m)
+            assert TR.shape == shape[m:] + (5,)
+            for n in range(m, N):
+                np.testing.assert_allclose(
+                    node_mttkrp(TR, U[m:], keep=n - m),
+                    mttkrp_oracle(X, U, n),
+                    atol=1e-9,
+                )
+
+    def test_invalid_split(self):
+        X, U = _case((4, 5, 6))
+        for bad in (0, 3):
+            with pytest.raises(ValueError, match="split"):
+                left_partial(X, U, bad)
+            with pytest.raises(ValueError, match="split"):
+                right_partial(X, U, bad)
+
+    def test_timers(self):
+        X, U = _case((4, 5, 6))
+        t = PhaseTimer()
+        left_partial(X, U, 2, timers=t)
+        assert {"lr_krp", "gemm"} <= set(t.totals)
+
+
+class TestNodeMttkrp:
+    def test_single_mode_node_is_identity(self):
+        # A node with one tensor mode: its MTTKRP is the node matrix itself.
+        X, U = _case((4, 6))
+        TL = left_partial(X, U, 1)  # shape (4, C)
+        np.testing.assert_allclose(
+            node_mttkrp(TL, U[:1], keep=0),
+            TL.unfold_front(0),
+            atol=1e-12,
+        )
+
+    def test_wrong_factor_count(self):
+        X, U = _case((4, 5, 6))
+        TL = left_partial(X, U, 2)
+        with pytest.raises(ValueError, match="factor matrices"):
+            node_mttkrp(TL, U[:1], keep=0)
+
+    def test_wrong_factor_shape(self):
+        X, U = _case((4, 5, 6))
+        TL = left_partial(X, U, 2)
+        with pytest.raises(ValueError, match="shape"):
+            node_mttkrp(TL, [U[1], U[0]], keep=0)
+
+    def test_keep_out_of_range(self):
+        X, U = _case((4, 5, 6))
+        TL = left_partial(X, U, 2)
+        with pytest.raises(ValueError, match="keep"):
+            node_mttkrp(TL, U[:2], keep=2)
+
+    def test_phase_timer(self):
+        X, U = _case((4, 5, 6))
+        TL = left_partial(X, U, 2)
+        t = PhaseTimer()
+        node_mttkrp(TL, U[:2], keep=0, timers=t)
+        assert "gemv" in t.totals
+
+
+class TestCpAlsDimtree:
+    @pytest.mark.parametrize("shape", [(6, 7, 8), (5, 6, 7, 4), (3, 4, 5, 3, 3)])
+    def test_identical_trajectory_to_per_mode(self, shape):
+        X = random_tensor(shape, rng=9)
+        init = random_factors(shape, 3, rng=10)
+        a = cp_als(X, 3, n_iter_max=6, tol=0.0, init=init)
+        b = cp_als(
+            X, 3, n_iter_max=6, tol=0.0, init=init, mode_strategy="dimtree"
+        )
+        np.testing.assert_allclose(a.fits, b.fits, atol=1e-9)
+
+    def test_recovers_exact_lowrank(self):
+        from repro.tensor.generate import from_kruskal
+
+        U = random_factors((9, 10, 11), 2, rng=20)
+        X = from_kruskal(U)
+        res = cp_als(
+            X, 2, n_iter_max=150, tol=1e-13, rng=21, mode_strategy="dimtree"
+        )
+        assert res.final_fit > 0.9999
+
+    def test_unknown_strategy(self):
+        X = random_tensor((4, 5), rng=0)
+        with pytest.raises(ValueError, match="mode_strategy"):
+            cp_als(X, 2, mode_strategy="tree-of-life")
+
+    def test_fewer_gemm_flops_reflected_in_phases(self):
+        """The dimtree iteration should do its tensor-sized work in exactly
+        two 'gemm' phase entries per iteration (one per half)."""
+        X = random_tensor((8, 8, 8, 8), rng=1)
+        init = random_factors(X.shape, 4, rng=2)
+        res = cp_als(
+            X, 4, n_iter_max=2, tol=0.0, init=init, mode_strategy="dimtree"
+        )
+        assert res.timers.counts["gemm"] == 2 * 2  # 2 halves x 2 iterations

@@ -1,0 +1,159 @@
+"""Tests for the flop/byte cost model (repro.core.flops)."""
+
+import pytest
+
+from repro.core.flops import (
+    AlgorithmCost,
+    PhaseCost,
+    baseline_cost,
+    gemm_cost,
+    gemm_lower_bound_cost,
+    krp_cost,
+    multi_ttv_cost,
+    onestep_cost,
+    stream_cost,
+    twostep_cost,
+)
+
+
+class TestPhaseCost:
+    def test_bytes_sum(self):
+        p = PhaseCost("x", 10.0, 100.0, 50.0)
+        assert p.bytes == 150.0
+
+    def test_scaled(self):
+        p = PhaseCost("x", 10.0, 100.0, 50.0).scaled(2.0)
+        assert (p.flops, p.read_bytes, p.write_bytes) == (20.0, 200.0, 100.0)
+
+
+class TestKrpCost:
+    def test_reuse_flops_formula(self):
+        # dims (3, 4, 5), C=2: levels 3*4=12 then 12*5=60 rows.
+        cost = krp_cost((3, 4, 5), 2, "reuse")
+        assert cost.flops == (12 + 60) * 2
+
+    def test_naive_flops_formula(self):
+        cost = krp_cost((3, 4, 5), 2, "naive")
+        assert cost.flops == 2 * 60 * 2  # (Z-1) * rows * C
+
+    def test_z1_is_free(self):
+        assert krp_cost((7,), 3, "reuse").flops == 0
+        assert krp_cost((7,), 3, "naive").flops == 0
+
+    def test_reuse_cheaper_than_naive_for_z3(self):
+        r = krp_cost((10, 10, 10), 25, "reuse")
+        n = krp_cost((10, 10, 10), 25, "naive")
+        assert r.flops < n.flops
+
+    def test_z2_equal_flops(self):
+        r = krp_cost((10, 10), 25, "reuse")
+        n = krp_cost((10, 10), 25, "naive")
+        assert r.flops == n.flops
+
+    def test_output_write_traffic(self):
+        cost = krp_cost((3, 4), 2, "reuse")
+        assert cost.write_bytes >= 12 * 2 * 8
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ValueError, match="schedule"):
+            krp_cost((3, 4), 2, "magic")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            krp_cost((), 2)
+
+
+class TestGemmStream:
+    def test_gemm_flops(self):
+        c = gemm_cost(10, 20, 30)
+        assert c.flops == 2 * 10 * 20 * 30
+        assert c.gemm_shape == (10, 20, 30)
+
+    def test_stream(self):
+        c = stream_cost(100)
+        assert c.read_bytes == c.write_bytes == 800
+
+    def test_multi_ttv(self):
+        c = multi_ttv_cost(10, 20, 5)
+        assert c.flops == 2 * 5 * 10 * 20
+
+
+class TestAlgorithmCosts:
+    SHAPE = (8, 9, 10, 11)
+    C = 6
+
+    def test_total_gemm_flops_match_across_algorithms(self):
+        """The dominant multiply does the same 2*I*C flops in every
+        algorithm (the paper: the partial MTTKRP 'involves the same number
+        of flops' as the baseline GEMM); the 2-step's multi-TTV is a small
+        additional term touching only the intermediate."""
+        I = 8 * 9 * 10 * 11
+        want = 2 * I * self.C
+        one = onestep_cost(self.SHAPE, 1, self.C)
+        assert one.phase("gemm").flops == want
+        two = twostep_cost(self.SHAPE, 1, self.C)
+        assert two.phase("gemm").flops == want
+        # 2nd step: 2 * C * I_n * min(I^L, I^R) << 2*I*C.
+        assert 0 < two.phase("gemv").flops < 0.05 * want
+        base = gemm_lower_bound_cost(self.SHAPE, 1, self.C)
+        assert base.phase("gemm").flops == want
+
+    def test_onestep_external_has_full_krp(self):
+        c = onestep_cost(self.SHAPE, 0, self.C)
+        assert {p.name for p in c.phases} == {"full_krp", "gemm"}
+
+    def test_onestep_internal_has_lr_krp(self):
+        c = onestep_cost(self.SHAPE, 2, self.C)
+        assert {p.name for p in c.phases} == {"lr_krp", "gemm"}
+
+    def test_onestep_parallel_adds_reduce(self):
+        c = onestep_cost(self.SHAPE, 2, self.C, num_threads=4)
+        assert "reduce" in {p.name for p in c.phases}
+        c1 = onestep_cost(self.SHAPE, 2, self.C, num_threads=1)
+        assert "reduce" not in {p.name for p in c1.phases}
+
+    def test_twostep_side_choice_minimizes_gemv(self):
+        auto = twostep_cost((3, 4, 50), 1, self.C)  # IR >> IL -> right
+        right = twostep_cost((3, 4, 50), 1, self.C, side="right")
+        assert auto.phase("gemv").flops == right.phase("gemv").flops
+        left = twostep_cost((3, 4, 50), 1, self.C, side="left")
+        assert auto.phase("gemv").flops <= left.phase("gemv").flops
+
+    def test_twostep_external_rejected(self):
+        with pytest.raises(ValueError, match="internal"):
+            twostep_cost(self.SHAPE, 0, self.C)
+
+    def test_twostep_bad_side(self):
+        with pytest.raises(ValueError, match="side"):
+            twostep_cost(self.SHAPE, 1, self.C, side="sideways")
+
+    def test_baseline_has_reorder_except_mode0(self):
+        assert "reorder" not in {
+            p.name for p in baseline_cost(self.SHAPE, 0, self.C).phases
+        }
+        assert "reorder" in {
+            p.name for p in baseline_cost(self.SHAPE, 2, self.C).phases
+        }
+
+    def test_all_costs_nonnegative(self):
+        for c in [
+            onestep_cost(self.SHAPE, 0, self.C, 4),
+            onestep_cost(self.SHAPE, 2, self.C, 4),
+            twostep_cost(self.SHAPE, 1, self.C),
+            baseline_cost(self.SHAPE, 1, self.C),
+            gemm_lower_bound_cost(self.SHAPE, 1, self.C),
+        ]:
+            assert c.flops >= 0 and c.bytes >= 0
+            for p in c.phases:
+                assert p.flops >= 0
+                assert p.read_bytes >= 0 and p.write_bytes >= 0
+
+    def test_phase_lookup_missing(self):
+        c = AlgorithmCost("x", (PhaseCost("a", 1, 1, 1),))
+        with pytest.raises(KeyError):
+            c.phase("b")
+
+    def test_totals_are_phase_sums(self):
+        c = twostep_cost(self.SHAPE, 1, self.C)
+        assert c.flops == sum(p.flops for p in c.phases)
+        assert c.bytes == sum(p.bytes for p in c.phases)

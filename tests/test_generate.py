@@ -1,0 +1,106 @@
+"""Tests for tensor generators (random, Kruskal, noise)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.generate import (
+    add_noise,
+    from_kruskal,
+    random_factors,
+    random_tensor,
+)
+
+
+class TestRandomTensor:
+    def test_shape_and_dtype(self):
+        X = random_tensor((3, 4, 5), rng=0)
+        assert X.shape == (3, 4, 5)
+        assert X.dtype == np.float64
+
+    def test_deterministic_with_seed(self):
+        a = random_tensor((3, 4), rng=7)
+        b = random_tensor((3, 4), rng=7)
+        assert a.allclose(b)
+
+    def test_distributions(self):
+        u = random_tensor((50, 50), rng=0, distribution="uniform")
+        assert 0.0 <= u.data.min() and u.data.max() < 1.0
+        g = random_tensor((50, 50), rng=0, distribution="normal")
+        assert g.data.min() < 0.0
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError, match="distribution"):
+            random_tensor((3, 3), distribution="poisson")
+
+    def test_float32(self):
+        assert random_tensor((3, 3), rng=0, dtype=np.float32).dtype == np.float32
+
+
+class TestRandomFactors:
+    def test_shapes(self):
+        U = random_factors((3, 4, 5), 7, rng=0)
+        assert [u.shape for u in U] == [(3, 7), (4, 7), (5, 7)]
+
+    def test_contiguous(self):
+        for u in random_factors((3, 4), 2, rng=0):
+            assert u.flags.c_contiguous
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError, match="rank"):
+            random_factors((3, 4), 0)
+
+
+class TestFromKruskal:
+    def test_matches_explicit_sum(self, rng):
+        shape, C = (3, 4, 5), 2
+        U = [rng.random((s, C)) for s in shape]
+        w = rng.random(C)
+        X = from_kruskal(U, w)
+        expected = np.einsum("ac,bc,dc,c->abd", U[0], U[1], U[2], w)
+        np.testing.assert_allclose(X.to_ndarray(), expected)
+
+    def test_default_weights_are_ones(self, rng):
+        U = [rng.random((3, 2)), rng.random((4, 2))]
+        X = from_kruskal(U)
+        np.testing.assert_allclose(X.to_ndarray(), U[0] @ U[1].T)
+
+    def test_4way(self, rng):
+        U = [rng.random((s, 3)) for s in (2, 3, 4, 5)]
+        X = from_kruskal(U)
+        expected = np.einsum("ac,bc,dc,ec->abde", *U)
+        np.testing.assert_allclose(X.to_ndarray(), expected)
+
+    def test_single_mode(self, rng):
+        U = [rng.random((4, 3))]
+        X = from_kruskal(U, np.ones(3))
+        np.testing.assert_allclose(X.to_ndarray().ravel(), U[0].sum(axis=1))
+
+    def test_weight_shape_mismatch(self, rng):
+        U = [rng.random((3, 2)), rng.random((4, 2))]
+        with pytest.raises(ValueError, match="weights"):
+            from_kruskal(U, np.ones(3))
+
+    def test_rank1_tensor_has_rank1_unfoldings(self, rng):
+        U = [rng.random((4, 1)), rng.random((5, 1)), rng.random((6, 1))]
+        X = from_kruskal(U)
+        assert np.linalg.matrix_rank(X.unfold_mode0()) == 1
+
+
+class TestAddNoise:
+    def test_snr_is_respected(self, rng):
+        X = random_tensor((20, 20, 20), rng=0)
+        noisy = add_noise(X, snr_db=20.0, rng=1)
+        err = np.linalg.norm(noisy.data - X.data)
+        snr = 20.0 * np.log10(X.norm() / err)
+        assert abs(snr - 20.0) < 0.5
+
+    def test_high_snr_is_nearly_exact(self):
+        X = random_tensor((10, 10), rng=0)
+        noisy = add_noise(X, snr_db=200.0, rng=1)
+        assert noisy.allclose(X, atol=1e-8)
+
+    def test_zero_tensor_rejected(self):
+        from repro.tensor.dense import DenseTensor
+
+        with pytest.raises(ValueError, match="zero"):
+            add_noise(DenseTensor(np.zeros((3, 3))), 10.0)

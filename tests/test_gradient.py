@@ -1,0 +1,111 @@
+"""Tests for CP gradients and the CP-OPT driver."""
+
+import numpy as np
+import pytest
+
+from repro.cpd.gradient import cp_gradient, cp_loss, cp_opt
+from repro.tensor.dense import DenseTensor
+from repro.tensor.generate import from_kruskal, random_factors, random_tensor
+
+
+def _case(shape=(4, 5, 6), rank=3, seed=0):
+    return (
+        random_tensor(shape, rng=seed),
+        random_factors(shape, rank, rng=seed + 1),
+    )
+
+
+class TestLoss:
+    def test_matches_dense_residual(self):
+        X, U = _case()
+        from repro.cpd.kruskal import KruskalTensor
+
+        dense = 0.5 * float(
+            np.linalg.norm(X.data - KruskalTensor(U).full().data) ** 2
+        )
+        assert cp_loss(X, U) == pytest.approx(dense, rel=1e-10)
+
+    def test_zero_at_exact_model(self):
+        U = random_factors((5, 6, 7), 2, rng=3)
+        X = from_kruskal(U)
+        assert cp_loss(X, U) == pytest.approx(0.0, abs=1e-8)
+
+    def test_cached_norm(self):
+        X, U = _case()
+        assert cp_loss(X, U) == pytest.approx(
+            cp_loss(X, U, norm_x=X.norm())
+        )
+
+
+class TestGradient:
+    @pytest.mark.parametrize("shape", [(4, 5, 6), (3, 4, 5, 3)])
+    def test_finite_differences(self, shape):
+        X, U = _case(shape)
+        grad = cp_gradient(X, U)
+        rng = np.random.default_rng(9)
+        eps = 1e-6
+        for n in range(len(shape)):
+            for _ in range(4):
+                i = rng.integers(U[n].shape[0])
+                c = rng.integers(U[n].shape[1])
+                up = [f.copy() for f in U]
+                up[n][i, c] += eps
+                um = [f.copy() for f in U]
+                um[n][i, c] -= eps
+                fd = (cp_loss(X, up) - cp_loss(X, um)) / (2 * eps)
+                assert grad[n][i, c] == pytest.approx(fd, rel=1e-3, abs=1e-5)
+
+    def test_zero_gradient_at_exact_model(self):
+        U = random_factors((5, 6, 7), 2, rng=4)
+        X = from_kruskal(U)
+        for g in cp_gradient(X, U):
+            np.testing.assert_allclose(g, 0.0, atol=1e-8)
+
+    def test_dimtree_matches_per_mode(self):
+        X, U = _case((3, 4, 5, 6))
+        a = cp_gradient(X, U, mode_strategy="per-mode")
+        b = cp_gradient(X, U, mode_strategy="dimtree")
+        for ga, gb in zip(a, b):
+            np.testing.assert_allclose(ga, gb, atol=1e-9)
+
+    def test_unknown_strategy(self):
+        X, U = _case()
+        with pytest.raises(ValueError, match="mode_strategy"):
+            cp_gradient(X, U, mode_strategy="magic")
+
+    def test_shapes(self):
+        X, U = _case()
+        for g, f in zip(cp_gradient(X, U), U):
+            assert g.shape == f.shape
+
+
+class TestCpOpt:
+    def test_recovers_exact_lowrank(self):
+        U = random_factors((8, 9, 10), 2, rng=5)
+        X = from_kruskal(U)
+        res = cp_opt(X, 2, n_iter_max=500, rng=6)
+        assert res.fits[-1] > 0.999
+
+    def test_explicit_init(self):
+        U = random_factors((6, 7, 8), 2, rng=7)
+        X = from_kruskal(U)
+        init = [f + 0.05 for f in U]
+        res = cp_opt(X, 2, n_iter_max=300, init=init)
+        assert res.fits[-1] > 0.999
+
+    def test_model_normalized(self):
+        X, _ = _case()
+        res = cp_opt(X, 2, n_iter_max=10, rng=1)
+        for f in res.model.factors:
+            np.testing.assert_allclose(np.linalg.norm(f, axis=0), 1.0)
+
+    def test_errors(self):
+        X, _ = _case()
+        with pytest.raises(ValueError, match="rank"):
+            cp_opt(X, 0)
+        with pytest.raises(TypeError, match="DenseTensor"):
+            cp_opt(np.zeros((3, 4)), 2)
+        with pytest.raises(ValueError, match="zero"):
+            cp_opt(DenseTensor(np.zeros((3, 4))), 2)
+        with pytest.raises(ValueError, match="initial factors"):
+            cp_opt(X, 2, init=[np.ones((4, 2))])

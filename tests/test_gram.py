@@ -1,0 +1,76 @@
+"""Tests for Gram matrices and the Hadamard-of-Grams cache."""
+
+import numpy as np
+import pytest
+
+from repro.cpd.gram import GramCache, gram_matrices, hadamard_of_grams
+
+
+class TestGramMatrices:
+    def test_values(self, rng):
+        U = [rng.random((4, 3)), rng.random((5, 3))]
+        grams = gram_matrices(U)
+        for f, g in zip(U, grams):
+            np.testing.assert_allclose(g, f.T @ f)
+
+    def test_symmetric_psd(self, rng):
+        (g,) = gram_matrices([rng.random((6, 3))])
+        np.testing.assert_allclose(g, g.T)
+        assert np.linalg.eigvalsh(g).min() >= -1e-12
+
+
+class TestHadamardOfGrams:
+    def test_skip_excludes_mode(self, rng):
+        U = [rng.random((4, 2)), rng.random((5, 2)), rng.random((6, 2))]
+        grams = gram_matrices(U)
+        H = hadamard_of_grams(grams, skip=1)
+        np.testing.assert_allclose(H, grams[0] * grams[2])
+
+    def test_no_skip(self, rng):
+        U = [rng.random((4, 2)), rng.random((5, 2))]
+        grams = gram_matrices(U)
+        np.testing.assert_allclose(
+            hadamard_of_grams(grams), grams[0] * grams[1]
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hadamard_of_grams([])
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="shape"):
+            hadamard_of_grams([np.eye(2), np.eye(3)])
+
+
+class TestGramCache:
+    def test_matches_direct_computation(self, rng):
+        U = [rng.random((4, 3)), rng.random((5, 3)), rng.random((6, 3))]
+        cache = GramCache(U)
+        for n in range(3):
+            np.testing.assert_allclose(
+                cache.hadamard(skip=n),
+                hadamard_of_grams(gram_matrices(U), skip=n),
+            )
+
+    def test_update_refreshes_single_mode(self, rng):
+        U = [rng.random((4, 3)), rng.random((5, 3))]
+        cache = GramCache(U)
+        U[0][...] = rng.random((4, 3))
+        # Stale until update is called.
+        stale = cache.hadamard(skip=1)
+        cache.update(0)
+        fresh = cache.hadamard(skip=1)
+        np.testing.assert_allclose(fresh, U[0].T @ U[0])
+        assert not np.allclose(stale, fresh)
+
+    def test_update_out_of_range(self, rng):
+        cache = GramCache([rng.random((4, 2))])
+        with pytest.raises(ValueError):
+            cache.update(1)
+
+    def test_hadamard_all(self, rng):
+        U = [rng.random((4, 2)), rng.random((5, 2))]
+        cache = GramCache(U)
+        np.testing.assert_allclose(
+            cache.hadamard_all(), (U[0].T @ U[0]) * (U[1].T @ U[1])
+        )

@@ -1,0 +1,57 @@
+"""Tests for CP-ALS initialization strategies."""
+
+import numpy as np
+import pytest
+
+from repro.cpd.init import initialize_factors
+from repro.tensor.generate import from_kruskal, random_factors, random_tensor
+
+
+class TestRandomInit:
+    def test_shapes(self):
+        X = random_tensor((4, 5, 6), rng=0)
+        factors = initialize_factors(X, 3, "random", rng=1)
+        assert [f.shape for f in factors] == [(4, 3), (5, 3), (6, 3)]
+
+    def test_deterministic_with_seed(self):
+        X = random_tensor((4, 5), rng=0)
+        a = initialize_factors(X, 2, "random", rng=5)
+        b = initialize_factors(X, 2, "random", rng=5)
+        for fa, fb in zip(a, b):
+            np.testing.assert_array_equal(fa, fb)
+
+
+class TestHosvdInit:
+    def test_columns_orthonormal(self):
+        X = random_tensor((6, 7, 8), rng=0)
+        factors = initialize_factors(X, 3, "hosvd", rng=1)
+        for f in factors:
+            np.testing.assert_allclose(f.T @ f, np.eye(3), atol=1e-8)
+
+    def test_captures_dominant_subspace(self):
+        # For an exact rank-2 tensor the HOSVD basis spans the factor space.
+        U = random_factors((8, 9, 10), 2, rng=3)
+        X = from_kruskal(U)
+        factors = initialize_factors(X, 2, "hosvd")
+        for f, u in zip(factors, U):
+            # Projection of u onto span(f) should reproduce u.
+            proj = f @ (f.T @ u)
+            np.testing.assert_allclose(proj, u, atol=1e-8)
+
+    def test_rank_exceeding_mode_size_falls_back(self):
+        X = random_tensor((2, 9, 10), rng=0)
+        factors = initialize_factors(X, 5, "hosvd", rng=1)
+        assert factors[0].shape == (2, 5)
+        assert np.isfinite(factors[0]).all()
+
+
+class TestErrors:
+    def test_bad_rank(self):
+        X = random_tensor((4, 5), rng=0)
+        with pytest.raises(ValueError, match="rank"):
+            initialize_factors(X, 0)
+
+    def test_unknown_method(self):
+        X = random_tensor((4, 5), rng=0)
+        with pytest.raises(ValueError, match="init method"):
+            initialize_factors(X, 2, "magic")

@@ -1,0 +1,118 @@
+"""Cross-module integration tests.
+
+These exercise the full stack the way the paper's evaluation does:
+all MTTKRP implementations against each other over a sweep of tensor
+orders/modes/threads, and the complete fMRI pipeline (generate ->
+symmetric linearization -> CP-ALS with both implementations -> recovery).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dispatch import mttkrp
+from repro.cpd.cp_als import cp_als
+from repro.cpd.diagnostics import factor_match_score
+from repro.data.fmri import synthetic_fmri
+from repro.reference.tensor_toolbox import cp_als_ttb, mttkrp_ttb
+from repro.tensor.generate import from_kruskal, random_factors, random_tensor
+from tests.conftest import mttkrp_oracle
+
+
+class TestCrossImplementationConsistency:
+    """Every implementation agrees with every other on random problems."""
+
+    @given(
+        st.lists(st.integers(2, 5), min_size=2, max_size=5),
+        st.integers(1, 6),
+        st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_methods_match_oracle(self, shape, rank, data):
+        shape = tuple(shape)
+        n = data.draw(st.integers(0, len(shape) - 1))
+        seed = data.draw(st.integers(0, 2**16))
+        X = random_tensor(shape, rng=seed)
+        U = random_factors(shape, rank, rng=seed + 1)
+        expected = mttkrp_oracle(X, U, n)
+        for method in ("auto", "onestep", "onestep-seq", "baseline"):
+            np.testing.assert_allclose(
+                mttkrp(X, U, n, method=method), expected, atol=1e-9
+            )
+        np.testing.assert_allclose(mttkrp_ttb(X, U, n), expected, atol=1e-9)
+        if 0 < n < len(shape) - 1:
+            for side in ("left", "right"):
+                np.testing.assert_allclose(
+                    mttkrp(X, U, n, method="twostep", side=side),
+                    expected,
+                    atol=1e-9,
+                )
+
+    @pytest.mark.parametrize("T", [2, 3, 5])
+    def test_threaded_matches_sequential(self, T):
+        X = random_tensor((7, 6, 5, 4), rng=0)
+        U = random_factors(X.shape, 6, rng=1)
+        for n in range(4):
+            seq = mttkrp(X, U, n, method="onestep", num_threads=1)
+            par = mttkrp(X, U, n, method="onestep", num_threads=T)
+            np.testing.assert_allclose(par, seq, atol=1e-10)
+
+    def test_mttkrp_linearity_in_factors(self, rng):
+        """MTTKRP is linear in each non-output factor matrix."""
+        X = random_tensor((5, 6, 7), rng=3)
+        U = random_factors(X.shape, 4, rng=4)
+        V = random_factors(X.shape, 4, rng=5)
+        mixed = [U[0], U[1] + 2.0 * V[1], U[2]]
+        lhs = mttkrp(X, mixed, 0)
+        rhs = mttkrp(X, U, 0) + 2.0 * mttkrp(X, [U[0], V[1], U[2]], 0)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+
+class TestCpAlsPipelines:
+    def test_both_drivers_same_trajectory_4way(self):
+        U = random_factors((6, 5, 7, 4), 2, rng=11)
+        X = from_kruskal(U)
+        init = random_factors(X.shape, 2, rng=12)
+        ours = cp_als(X, 2, n_iter_max=8, tol=0.0, init=init)
+        ttb = cp_als_ttb(X, 2, n_iter_max=8, tol=0.0, init=init)
+        np.testing.assert_allclose(ours.fits, ttb.fits, atol=1e-7)
+
+    def test_method_choice_does_not_change_result(self):
+        X = random_tensor((6, 7, 8), rng=13)
+        init = random_factors(X.shape, 3, rng=14)
+        auto = cp_als(X, 3, n_iter_max=5, tol=0.0, init=init, method="auto")
+        one = cp_als(X, 3, n_iter_max=5, tol=0.0, init=init, method="onestep")
+        np.testing.assert_allclose(auto.fits, one.fits, atol=1e-8)
+
+
+class TestFmriEndToEnd:
+    """The full application pipeline of Section 5.3.3."""
+
+    def test_4way_and_3way_consistent(self):
+        data = synthetic_fmri(14, 6, 12, rank=3, rng=20, snr_db=35.0)
+        X4 = data.tensor
+        X3 = data.to_3way(check=True)
+        assert X3.shape == (14, 6, 66)
+        # Norms relate: off-diagonal pairs counted once instead of twice.
+        # |X4|^2 = 2*|X3|^2 + |diag part|^2.
+        diag = np.einsum("tsii->tsi", X4.to_ndarray())
+        lhs = X4.norm() ** 2
+        rhs = 2 * X3.norm() ** 2 + float(np.sum(diag**2))
+        assert np.isclose(lhs, rhs, rtol=1e-10)
+
+    def test_recovery_beats_noise_floor(self):
+        data = synthetic_fmri(16, 6, 12, rank=2, rng=21, snr_db=30.0)
+        res = cp_als(data.tensor, 2, n_iter_max=150, tol=1e-11, rng=22)
+        fms = factor_match_score(
+            res.model, data.ground_truth, weight_penalty=False
+        )
+        assert fms > 0.85
+
+    def test_3way_pipeline_runs_both_impls(self):
+        data = synthetic_fmri(10, 5, 10, rank=2, rng=23, snr_db=30.0)
+        X3 = data.to_3way()
+        init = random_factors(X3.shape, 2, rng=24)
+        ours = cp_als(X3, 2, n_iter_max=6, tol=0.0, init=init)
+        ttb = cp_als_ttb(X3, 2, n_iter_max=6, tol=0.0, init=init)
+        np.testing.assert_allclose(ours.fits, ttb.fits, atol=1e-7)

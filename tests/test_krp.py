@@ -1,0 +1,198 @@
+"""Tests for the row-wise Khatri-Rao product (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.krp import (
+    khatri_rao,
+    khatri_rao_naive,
+    krp_reference,
+    krp_row,
+    krp_rows,
+    krp_rows_naive,
+)
+from tests.conftest import krp_oracle
+
+matrix_lists = st.lists(
+    st.tuples(st.integers(1, 5), st.just(3)), min_size=1, max_size=4
+)
+
+
+def _random_mats(dims, C, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.random((d, C)) for d in dims]
+
+
+class TestKhatriRao:
+    def test_matches_kronecker_definition(self, rng):
+        mats = _random_mats([3, 4, 2], 5)
+        np.testing.assert_allclose(khatri_rao(mats), krp_oracle(mats))
+
+    def test_two_matrices(self, rng):
+        mats = _random_mats([3, 4], 5)
+        np.testing.assert_allclose(khatri_rao(mats), krp_oracle(mats))
+
+    def test_single_matrix_is_copy(self, rng):
+        (m,) = _random_mats([4], 3)
+        K = khatri_rao([m])
+        np.testing.assert_array_equal(K, m)
+
+    def test_row_index_convention(self, rng):
+        # K(rA*IB + rB, :) = A(rA,:) * B(rB,:): last input fastest.
+        A, B = _random_mats([3, 4], 5)
+        K = khatri_rao([A, B])
+        for ra in range(3):
+            for rb in range(4):
+                np.testing.assert_allclose(K[ra * 4 + rb], A[ra] * B[rb])
+
+    def test_out_parameter(self, rng):
+        mats = _random_mats([3, 4], 5)
+        out = np.empty((12, 5))
+        res = khatri_rao(mats, out=out)
+        assert res is out
+        np.testing.assert_allclose(out, krp_oracle(mats))
+
+    def test_out_wrong_shape(self, rng):
+        mats = _random_mats([3, 4], 5)
+        with pytest.raises(ValueError, match="out"):
+            khatri_rao(mats, out=np.empty((11, 5)))
+
+    def test_column_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="column"):
+            khatri_rao([rng.random((3, 4)), rng.random((3, 5))])
+
+    def test_result_contiguous(self, rng):
+        assert khatri_rao(_random_mats([3, 4, 2], 5)).flags.c_contiguous
+
+    @given(matrix_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_property_vs_oracle(self, dims_and_c):
+        dims = [d for d, _ in dims_and_c]
+        mats = _random_mats(dims, 3, seed=42)
+        np.testing.assert_allclose(
+            khatri_rao(mats), krp_oracle(mats), atol=1e-12
+        )
+
+    def test_single_column(self, rng):
+        mats = _random_mats([3, 4], 1)
+        np.testing.assert_allclose(khatri_rao(mats), krp_oracle(mats))
+
+    def test_rows_of_ones(self):
+        mats = [np.ones((3, 2)), np.ones((4, 2))]
+        np.testing.assert_array_equal(khatri_rao(mats), np.ones((12, 2)))
+
+
+class TestNaive:
+    def test_matches_reuse(self, rng):
+        mats = _random_mats([3, 4, 2, 3], 5)
+        np.testing.assert_allclose(khatri_rao_naive(mats), khatri_rao(mats))
+
+    def test_z2_delegates_to_reuse(self, rng):
+        # "For Z = 2 there is no difference in algorithm."
+        mats = _random_mats([5, 7], 4)
+        np.testing.assert_allclose(khatri_rao_naive(mats), khatri_rao(mats))
+
+    def test_rows_naive_range(self, rng):
+        mats = _random_mats([3, 4, 2], 5)
+        K = khatri_rao(mats)
+        np.testing.assert_allclose(krp_rows_naive(mats, 5, 17), K[5:17])
+
+    @pytest.mark.parametrize("dims", [[3, 4, 2], [2, 3, 2, 2], [2, 2, 2, 2, 2]])
+    def test_rows_naive_exhaustive_ranges(self, dims):
+        # The periodic-broadcast segmentation must be correct for every
+        # possible phase of every level.
+        mats = _random_mats(dims, 3, seed=13)
+        K = khatri_rao(mats)
+        total = K.shape[0]
+        for s in range(total + 1):
+            for e in range(s, total + 1):
+                np.testing.assert_allclose(
+                    krp_rows_naive(mats, s, e), K[s:e], atol=1e-12
+                )
+
+    def test_rows_naive_empty(self, rng):
+        mats = _random_mats([3, 4, 2], 5)
+        assert krp_rows_naive(mats, 4, 4).shape == (0, 5)
+
+    def test_rows_naive_invalid_range(self, rng):
+        mats = _random_mats([3, 4], 5)
+        with pytest.raises(ValueError, match="invalid"):
+            krp_rows_naive(mats, 5, 13)
+
+
+class TestKrpRows:
+    def test_exhaustive_small(self):
+        mats = _random_mats([3, 4, 2], 5, seed=3)
+        K = khatri_rao(mats)
+        total = K.shape[0]
+        for s in range(total + 1):
+            for e in range(s, total + 1):
+                np.testing.assert_allclose(krp_rows(mats, s, e), K[s:e])
+
+    @given(
+        st.lists(st.integers(1, 4), min_size=1, max_size=4),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_ranges(self, dims, data):
+        mats = _random_mats(dims, 2, seed=11)
+        total = int(np.prod(dims))
+        s = data.draw(st.integers(0, total))
+        e = data.draw(st.integers(s, total))
+        K = khatri_rao(mats)
+        np.testing.assert_allclose(krp_rows(mats, s, e), K[s:e], atol=1e-12)
+
+    def test_out_parameter(self):
+        mats = _random_mats([3, 4, 2], 5)
+        out = np.empty((10, 5))
+        res = krp_rows(mats, 7, 17, out=out)
+        assert res is out
+        np.testing.assert_allclose(out, khatri_rao(mats)[7:17])
+
+    def test_out_wrong_shape(self):
+        mats = _random_mats([3, 4], 5)
+        with pytest.raises(ValueError, match="out"):
+            krp_rows(mats, 0, 3, out=np.empty((4, 5)))
+
+    def test_invalid_range(self):
+        mats = _random_mats([3, 4], 5)
+        with pytest.raises(ValueError, match="invalid"):
+            krp_rows(mats, -1, 3)
+        with pytest.raises(ValueError, match="invalid"):
+            krp_rows(mats, 0, 13)
+
+    def test_single_matrix_slice(self):
+        (m,) = _random_mats([6], 3)
+        np.testing.assert_array_equal(krp_rows([m], 2, 5), m[2:5])
+
+
+class TestKrpRow:
+    def test_all_rows(self):
+        mats = _random_mats([3, 4, 2], 5, seed=5)
+        K = khatri_rao(mats)
+        for j in range(K.shape[0]):
+            np.testing.assert_allclose(krp_row(mats, j), K[j])
+
+    def test_out_of_range(self):
+        mats = _random_mats([3, 4], 5)
+        with pytest.raises(ValueError, match="out of range"):
+            krp_row(mats, 12)
+
+
+class TestReference:
+    """The literal Algorithm 1 transcription agrees with everything else."""
+
+    @pytest.mark.parametrize("dims", [[3], [3, 4], [3, 4, 2], [2, 3, 2, 2]])
+    def test_matches_vectorized(self, dims):
+        mats = _random_mats(dims, 4, seed=9)
+        np.testing.assert_allclose(krp_reference(mats), khatri_rao(mats))
+
+    def test_matches_oracle(self):
+        mats = _random_mats([2, 3, 4], 3, seed=1)
+        np.testing.assert_allclose(krp_reference(mats), krp_oracle(mats))
+
+    def test_z5(self):
+        mats = _random_mats([2, 2, 2, 2, 2], 3, seed=2)
+        np.testing.assert_allclose(krp_reference(mats), khatri_rao(mats))

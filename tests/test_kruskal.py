@@ -1,0 +1,106 @@
+"""Tests for KruskalTensor."""
+
+import numpy as np
+import pytest
+
+from repro.cpd.kruskal import KruskalTensor
+from repro.tensor.generate import random_factors, random_tensor
+
+
+def _model(shape=(4, 5, 6), rank=3, seed=0, weights=None):
+    U = random_factors(shape, rank, rng=seed)
+    return KruskalTensor(U, weights)
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = _model()
+        assert m.shape == (4, 5, 6)
+        assert m.rank == 3
+        assert m.ndim == 3
+        np.testing.assert_array_equal(m.weights, np.ones(3))
+
+    def test_explicit_weights(self):
+        m = _model(weights=np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(m.weights, [1, 2, 3])
+
+    def test_weight_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="weights"):
+            KruskalTensor([rng.random((4, 3))], np.ones(2))
+
+    def test_column_mismatch(self, rng):
+        with pytest.raises(ValueError, match="column"):
+            KruskalTensor([rng.random((4, 3)), rng.random((5, 2))])
+
+    def test_copy_independent(self):
+        m = _model()
+        c = m.copy()
+        c.factors[0][0, 0] = 99.0
+        assert m.factors[0][0, 0] != 99.0
+
+    def test_repr(self):
+        assert "4x5x6" in repr(_model())
+
+
+class TestAlgebra:
+    def test_norm_matches_dense(self):
+        m = _model(weights=np.array([1.0, -2.0, 0.5]))
+        assert np.isclose(m.norm(), m.full().norm())
+
+    def test_inner_matches_dense(self, rng):
+        m = _model()
+        X = random_tensor(m.shape, rng=1)
+        dense_inner = float(np.sum(m.full().data * X.data))
+        assert np.isclose(m.inner(X), dense_inner)
+
+    def test_residual_norm_matches_dense(self, rng):
+        m = _model()
+        X = random_tensor(m.shape, rng=2)
+        direct = float(np.linalg.norm(X.data - m.full().data))
+        assert np.isclose(m.residual_norm(X), direct, rtol=1e-8)
+
+    def test_fit_of_exact_model_is_one(self):
+        m = _model()
+        assert np.isclose(m.fit(m.full()), 1.0, atol=1e-10)
+
+    def test_fit_uses_cached_norm(self):
+        m = _model()
+        X = random_tensor(m.shape, rng=3)
+        assert np.isclose(m.fit(X), m.fit(X, tensor_norm=X.norm()))
+
+    def test_fit_zero_tensor_rejected(self):
+        from repro.tensor.dense import DenseTensor
+
+        m = _model()
+        with pytest.raises(ValueError, match="zero"):
+            m.fit(DenseTensor(np.zeros(m.shape)))
+
+
+class TestNormalize:
+    def test_preserves_model(self):
+        m = _model(weights=np.array([3.0, 1.0, 2.0]))
+        n = m.normalize()
+        assert n.full().allclose(m.full(), atol=1e-12)
+
+    def test_unit_columns(self):
+        n = _model().normalize()
+        for f in n.factors:
+            np.testing.assert_allclose(np.linalg.norm(f, axis=0), 1.0)
+
+    def test_sorted_by_weight(self):
+        n = _model(weights=np.array([1.0, 5.0, 3.0])).normalize()
+        w = np.abs(n.weights)
+        assert all(w[:-1] >= w[1:])
+
+    def test_unsorted_option(self):
+        m = _model(weights=np.array([1.0, 5.0, 3.0]))
+        n = m.normalize(sort=False)
+        assert n.full().allclose(m.full(), atol=1e-12)
+
+    def test_zero_column_survives(self, rng):
+        U = [rng.random((4, 2)), rng.random((5, 2))]
+        U[0][:, 1] = 0.0
+        m = KruskalTensor(U)
+        n = m.normalize()
+        assert np.isfinite(n.weights).all()
+        assert np.isfinite(n.factors[0]).all()

@@ -1,0 +1,162 @@
+"""Tests for repro.tensor.layout: products, linearization, MultiIndex."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.layout import (
+    MultiIndex,
+    delinearize,
+    delinearize_many,
+    left_product,
+    linearize,
+    linearize_many,
+    mode_products,
+    right_product,
+)
+from repro.util import prod
+
+shapes = st.lists(st.integers(1, 5), min_size=1, max_size=5).map(tuple)
+
+
+class TestProducts:
+    def test_left_product(self):
+        assert left_product((2, 3, 4), 0) == 1
+        assert left_product((2, 3, 4), 1) == 2
+        assert left_product((2, 3, 4), 2) == 6
+
+    def test_right_product(self):
+        assert right_product((2, 3, 4), 0) == 12
+        assert right_product((2, 3, 4), 1) == 4
+        assert right_product((2, 3, 4), 2) == 1
+
+    def test_mode_products_consistency(self):
+        p = mode_products((2, 3, 4), 1)
+        assert p.left * p.size * p.right == p.total == 24
+        assert p.other == p.left * p.right == 8
+
+    def test_out_of_range_mode(self):
+        with pytest.raises(ValueError):
+            left_product((2, 3), 2)
+        with pytest.raises(ValueError):
+            right_product((2, 3), -1)
+
+    def test_nonpositive_dim_rejected(self):
+        with pytest.raises(ValueError):
+            mode_products((2, 0, 4), 1)
+
+    @given(shapes, st.data())
+    def test_left_right_identity(self, shape, data):
+        n = data.draw(st.integers(0, len(shape) - 1))
+        p = mode_products(shape, n)
+        assert p.left == prod(shape[:n])
+        assert p.right == prod(shape[n + 1 :])
+
+
+class TestLinearize:
+    def test_known_value(self):
+        # l = i0 + i1*I0 + i2*I0*I1
+        assert linearize((1, 2, 3), (2, 3, 4)) == 1 + 2 * 2 + 3 * 6
+
+    def test_matches_numpy_fortran_ravel(self, rng):
+        shape = (3, 4, 5)
+        arr = rng.random(shape)
+        flat = arr.ravel(order="F")
+        for idx in np.ndindex(shape):
+            assert flat[linearize(idx, shape)] == arr[idx]
+
+    def test_roundtrip_exhaustive(self):
+        shape = (2, 3, 4)
+        for offset in range(24):
+            assert linearize(delinearize(offset, shape), shape) == offset
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            linearize((2, 0), (2, 3))
+        with pytest.raises(ValueError):
+            delinearize(24, (2, 3, 4))
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError):
+            linearize((0, 0), (2, 3, 4))
+
+    @given(shapes, st.data())
+    def test_roundtrip_property(self, shape, data):
+        offset = data.draw(st.integers(0, prod(shape) - 1))
+        assert linearize(delinearize(offset, shape), shape) == offset
+
+    def test_vectorized_matches_scalar(self, rng):
+        shape = (3, 4, 5)
+        offsets = np.arange(prod(shape))
+        indices = delinearize_many(offsets, shape)
+        for o in offsets:
+            assert tuple(indices[o]) == delinearize(o, shape)
+        back = linearize_many(indices, shape)
+        np.testing.assert_array_equal(back, offsets)
+
+    def test_vectorized_shape_errors(self):
+        with pytest.raises(ValueError):
+            linearize_many(np.zeros((3, 2), dtype=np.int64), (2, 3, 4))
+
+
+class TestMultiIndex:
+    def test_start_zero(self):
+        m = MultiIndex((2, 3))
+        assert tuple(m.digits) == (0, 0)
+        assert m.position == 0
+
+    def test_last_digit_fastest(self):
+        m = MultiIndex((2, 3))
+        seq = [tuple(m.digits)]
+        for _ in range(5):
+            m.increment()
+            seq.append(tuple(m.digits))
+        assert seq == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_increment_returns_changed_digit(self):
+        m = MultiIndex((2, 3))
+        assert m.increment() == 1  # (0,0)->(0,1)
+        assert m.increment() == 1  # (0,1)->(0,2)
+        assert m.increment() == 0  # (0,2)->(1,0): digit 0 changed
+
+    def test_wraps_to_zero(self):
+        m = MultiIndex((2, 2), start=3)
+        changed = m.increment()
+        assert tuple(m.digits) == (0, 0)
+        assert changed == 0
+
+    def test_start_mid_stream(self):
+        # Starting position must match the sequential enumeration.
+        radices = (3, 4, 2)
+        ref = MultiIndex(radices)
+        for start in range(prod(radices)):
+            m = MultiIndex(radices, start=start)
+            assert tuple(m.digits) == tuple(ref.digits), start
+            assert m.position == start
+            ref.increment()
+
+    def test_total(self):
+        assert MultiIndex((3, 4)).total == 12
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MultiIndex(())
+        with pytest.raises(ValueError):
+            MultiIndex((0, 2))
+        with pytest.raises(ValueError):
+            MultiIndex((2, 2), start=4)
+
+    @given(
+        st.lists(st.integers(1, 4), min_size=1, max_size=4),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=50)
+    def test_matches_unravel_index(self, radices, seed):
+        total = prod(radices)
+        start = seed % total
+        m = MultiIndex(radices, start=start)
+        for step in range(min(total, 10)):
+            expected = np.unravel_index((start + step) % total, radices)
+            assert tuple(m.digits) == tuple(int(e) for e in expected)
+            m.increment()

@@ -1,0 +1,103 @@
+"""Tests for the MachineModel rate curves."""
+
+import pytest
+
+from repro.core.flops import PhaseCost, gemm_cost, stream_cost
+from repro.machine.model import MachineModel, host_model_default, paper_machine
+
+
+@pytest.fixture
+def model() -> MachineModel:
+    return paper_machine()
+
+
+class TestBandwidth:
+    def test_linear_ramp_then_saturation(self, model):
+        assert model.bandwidth(2) == pytest.approx(2 * model.bandwidth(1))
+        assert model.bandwidth(12) == model.bw_max_gbs * 1e9
+
+    def test_monotone_nondecreasing(self, model):
+        vals = [model.bandwidth(t) for t in range(1, 13)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+    def test_threads_validation(self, model):
+        with pytest.raises(ValueError):
+            model.bandwidth(0)
+        with pytest.raises(ValueError, match="cores"):
+            model.bandwidth(13)
+
+
+class TestGemmRates:
+    def test_narrow_panel_penalty(self, model):
+        wide = model.gemm_rate_single((1000, 1000, 1000))
+        narrow = model.gemm_rate_single((1000, 25, 1000))
+        assert narrow < wide
+
+    def test_shapeless_rate_is_plain_efficiency(self, model):
+        assert model.gemm_rate_single(None) == pytest.approx(
+            model.gemm_efficiency * model.peak_gflops_per_core * 1e9
+        )
+
+    def test_blas_speedup_single_thread(self, model):
+        assert model.blas_speedup((100, 100, 100), 1) == 1.0
+
+    def test_blas_speedup_capped_by_parallel_eff(self, model):
+        s = model.blas_speedup((5000, 5000, 1000), 12)
+        assert s == pytest.approx(model.blas_parallel_eff * 12)
+
+    def test_blas_speedup_small_output_flattens(self, model):
+        # The inner-product-shaped baseline GEMM: tiny output, huge k.
+        small = model.blas_speedup((30, 25, 10**6), 12)
+        big = model.blas_speedup((30000, 25, 10**4), 12)
+        assert small < big
+        assert small < 2.5
+
+    def test_blas_speedup_at_least_one(self, model):
+        assert model.blas_speedup((1, 1, 10**9), 12) >= 1.0
+
+    def test_effective_bytes_charges_write_allocate(self, model):
+        c = PhaseCost("x", 0.0, 100.0, 100.0)
+        assert model.effective_bytes(c) == 100.0 + 2.0 * 100.0
+
+
+class TestPhaseTimes:
+    def test_stream_time_scales_with_threads(self, model):
+        c = stream_cost(10**8)
+        assert model.stream_time(c, 12) < model.stream_time(c, 1)
+
+    def test_blas_time_positive(self, model):
+        assert model.blas_time(gemm_cost(100, 100, 100), 4) > 0
+
+    def test_explicit_time_linear_compute_scaling(self, model):
+        c = gemm_cost(10**3, 25, 10**5)
+        t1 = model.explicit_time(c, 1)
+        t12 = model.explicit_time(c, 12)
+        # Compute-bound phase: near-linear scaling (traffic is small here).
+        assert t1 / t12 > 8.0
+
+    def test_serial_time_ignores_threads(self, model):
+        c = stream_cost(10**7)
+        assert model.serial_time(c) == pytest.approx(
+            model.stream_time(c, 1), rel=1e-6
+        )
+
+    def test_region_overhead_zero_for_one_thread(self, model):
+        assert model.region_overhead(1) == 0.0
+        assert model.region_overhead(12) > 0.0
+
+
+class TestConstruction:
+    def test_with_cores(self, model):
+        m2 = model.with_cores(4)
+        assert m2.cores == 4
+        with pytest.raises(ValueError, match="cores"):
+            m2.bandwidth(5)
+
+    def test_with_cores_invalid(self, model):
+        with pytest.raises(ValueError):
+            model.with_cores(0)
+
+    def test_host_default_sane(self):
+        m = host_model_default()
+        assert m.cores >= 1
+        assert m.bandwidth(1) > 0

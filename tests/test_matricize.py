@@ -1,0 +1,75 @@
+"""Tests for explicit matricizations and their agreement with the views."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.dense import DenseTensor
+from repro.tensor.matricize import (
+    fold_explicit,
+    unfold_explicit,
+    unfold_front_explicit,
+)
+
+small_shapes = st.lists(st.integers(1, 4), min_size=2, max_size=4).map(tuple)
+
+
+class TestUnfoldExplicit:
+    def test_mode0_equals_view(self, rng):
+        X = DenseTensor(rng.random((3, 4, 5)))
+        np.testing.assert_array_equal(unfold_explicit(X, 0), X.unfold_mode0())
+
+    def test_last_mode_equals_view(self, rng):
+        X = DenseTensor(rng.random((3, 4, 5)))
+        np.testing.assert_array_equal(unfold_explicit(X, 2), X.unfold_last())
+
+    def test_internal_mode_equals_blocks(self, rng):
+        X = DenseTensor(rng.random((3, 4, 5)))
+        Xn = unfold_explicit(X, 1)
+        blocks = X.mode_blocks_view(1)
+        # Column block j of X_(1) is blocks[j] (I_n x I^L_n).
+        for j in range(blocks.shape[0]):
+            np.testing.assert_array_equal(Xn[:, 3 * j : 3 * (j + 1)], blocks[j])
+
+    def test_column_ordering_is_natural(self, rng):
+        arr = rng.random((3, 4, 5))
+        Xn = unfold_explicit(DenseTensor(arr), 1)
+        # Column index = i0 + i2 * I0 (lower modes fastest, skipping mode 1).
+        for i0, i2 in np.ndindex(3, 5):
+            np.testing.assert_array_equal(Xn[:, i0 + 3 * i2], arr[i0, :, i2])
+
+    def test_memory_order(self, rng):
+        X = DenseTensor(rng.random((3, 4, 5)))
+        assert unfold_explicit(X, 1, order="F").flags.f_contiguous
+        assert unfold_explicit(X, 1, order="C").flags.c_contiguous
+
+    def test_bad_order(self, rng):
+        with pytest.raises(ValueError, match="order"):
+            unfold_explicit(DenseTensor(rng.random((3, 4))), 0, order="X")
+
+    @given(small_shapes, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_fold_roundtrip(self, shape, data):
+        n = data.draw(st.integers(0, len(shape) - 1))
+        rng = np.random.default_rng(0)
+        X = DenseTensor(rng.random(shape))
+        Xn = unfold_explicit(X, n)
+        back = fold_explicit(Xn, n, shape)
+        assert back.allclose(X)
+
+    def test_fold_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="unfolding"):
+            fold_explicit(rng.random((3, 5)), 0, (3, 4))
+
+
+class TestUnfoldFrontExplicit:
+    @given(small_shapes, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_view(self, shape, data):
+        n = data.draw(st.integers(0, len(shape) - 1))
+        rng = np.random.default_rng(1)
+        X = DenseTensor(rng.random(shape))
+        np.testing.assert_array_equal(
+            unfold_front_explicit(X, n), X.unfold_front(n)
+        )

@@ -1,0 +1,123 @@
+"""Tests for CP with missing data (CP-WOPT)."""
+
+import numpy as np
+import pytest
+
+from repro.cpd.diagnostics import factor_match_score
+from repro.cpd.kruskal import KruskalTensor
+from repro.cpd.missing import cp_wopt, random_mask
+from repro.tensor.dense import DenseTensor
+from repro.tensor.generate import from_kruskal, random_factors, random_tensor
+
+
+class TestRandomMask:
+    def test_binary(self):
+        m = random_mask((5, 6, 7), 0.3, rng=0)
+        assert set(np.unique(m.data)) <= {0.0, 1.0}
+
+    def test_fraction_approximate(self):
+        m = random_mask((20, 20, 20), 0.3, rng=1)
+        frac = m.data.mean()
+        assert 0.25 < frac < 0.35
+
+    def test_full_observation(self):
+        m = random_mask((4, 4), 1.0, rng=2)
+        assert m.data.all()
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            random_mask((4, 4), 0.0)
+        with pytest.raises(ValueError):
+            random_mask((4, 4), 1.5)
+
+
+class TestCpWopt:
+    def test_recovers_from_partial_observations(self):
+        U = random_factors((10, 11, 12), 2, rng=0)
+        X = from_kruskal(U)
+        mask = random_mask(X.shape, 0.35, rng=1)
+        res = cp_wopt(X, mask, 2, n_iter_max=600, rng=2)
+        assert res.fits[-1] > 0.999
+        assert factor_match_score(
+            res.model, KruskalTensor(U), weight_penalty=False
+        ) > 0.99
+
+    def test_predicts_held_out_entries(self):
+        U = random_factors((10, 11, 12), 2, rng=3)
+        X = from_kruskal(U)
+        mask = random_mask(X.shape, 0.4, rng=4)
+        res = cp_wopt(X, mask, 2, n_iter_max=600, rng=5)
+        rec = res.model.full()
+        held = mask.data == 0.0
+        rel = np.linalg.norm(
+            rec.data[held] - X.data[held]
+        ) / np.linalg.norm(X.data[held])
+        assert rel < 0.01
+
+    def test_unobserved_values_ignored(self):
+        """Corrupting unobserved entries must not change the result."""
+        U = random_factors((8, 9, 10), 2, rng=6)
+        X = from_kruskal(U)
+        mask = random_mask(X.shape, 0.5, rng=7)
+        corrupted = DenseTensor(
+            X.data + (1.0 - mask.data) * 1e6, X.shape
+        )
+        init = random_factors(X.shape, 2, rng=8)
+        a = cp_wopt(X, mask, 2, n_iter_max=50, init=init)
+        b = cp_wopt(corrupted, mask, 2, n_iter_max=50, init=init)
+        np.testing.assert_allclose(a.fits, b.fits, atol=1e-8)
+
+    def test_full_mask_matches_cp_opt_objective(self):
+        from repro.cpd.gradient import cp_opt
+
+        X = random_tensor((6, 7, 8), rng=9)
+        mask = random_mask(X.shape, 1.0, rng=10)
+        init = random_factors(X.shape, 2, rng=11)
+        a = cp_wopt(X, mask, 2, n_iter_max=40, init=init)
+        b = cp_opt(X, 2, n_iter_max=40, init=init)
+        # Same objective, same optimizer, same init -> same trajectory.
+        k = min(len(a.fits), len(b.fits))
+        np.testing.assert_allclose(a.fits[:k], b.fits[:k], atol=1e-7)
+
+    def test_4way(self):
+        U = random_factors((6, 5, 7, 4), 2, rng=12)
+        X = from_kruskal(U)
+        mask = random_mask(X.shape, 0.5, rng=13)
+        res = cp_wopt(X, mask, 2, n_iter_max=500, rng=14)
+        assert res.fits[-1] > 0.99
+
+
+class TestErrors:
+    def test_shape_mismatch(self):
+        X = random_tensor((4, 5), rng=0)
+        m = random_mask((4, 6), 0.5, rng=1)
+        with pytest.raises(ValueError, match="mask shape"):
+            cp_wopt(X, m, 2)
+
+    def test_non_binary_mask(self):
+        X = random_tensor((4, 5), rng=0)
+        m = DenseTensor(np.full(20, 0.5), (4, 5))
+        with pytest.raises(ValueError, match="0 or 1"):
+            cp_wopt(X, m, 2)
+
+    def test_empty_mask(self):
+        X = random_tensor((4, 5), rng=0)
+        m = DenseTensor(np.zeros(20), (4, 5))
+        with pytest.raises(ValueError, match="observes no entries"):
+            cp_wopt(X, m, 2)
+
+    def test_all_zero_observed(self):
+        X = DenseTensor(np.zeros((4, 5)))
+        m = random_mask((4, 5), 0.5, rng=2)
+        with pytest.raises(ValueError, match="all zero"):
+            cp_wopt(X, m, 2)
+
+    def test_bad_rank(self):
+        X = random_tensor((4, 5), rng=0)
+        m = random_mask((4, 5), 0.5, rng=1)
+        with pytest.raises(ValueError, match="rank"):
+            cp_wopt(X, m, 0)
+
+    def test_not_tensors(self, rng):
+        with pytest.raises(TypeError):
+            cp_wopt(rng.random((3, 4)), rng.random((3, 4)), 2)

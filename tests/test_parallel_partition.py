@@ -1,0 +1,87 @@
+"""Tests for static contiguous partitioning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.partition import block_bounds, contiguous_blocks, owner_of
+
+
+class TestContiguousBlocks:
+    def test_even_split(self):
+        assert contiguous_blocks(12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_ceiling_block_size(self):
+        # b = ceil(10/3) = 4 (the paper's Alg. 3 line 3).
+        assert contiguous_blocks(10, 3) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_more_parts_than_items(self):
+        blocks = contiguous_blocks(2, 4)
+        assert blocks == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    def test_zero_items(self):
+        assert contiguous_blocks(0, 3) == [(0, 0)] * 3
+
+    def test_single_part(self):
+        assert contiguous_blocks(7, 1) == [(0, 7)]
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ValueError):
+            contiguous_blocks(-1, 2)
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ValueError):
+            contiguous_blocks(5, 0)
+
+    @given(st.integers(0, 500), st.integers(1, 40))
+    def test_partition_properties(self, n, parts):
+        blocks = contiguous_blocks(n, parts)
+        assert len(blocks) == parts
+        # Ordered, disjoint, exactly covering [0, n).
+        covered = 0
+        prev_stop = 0
+        for start, stop in blocks:
+            assert start == prev_stop
+            assert start <= stop <= n
+            covered += stop - start
+            prev_stop = stop
+        assert covered == n
+        assert prev_stop == n or n == 0
+
+    @given(st.integers(0, 500), st.integers(1, 40))
+    def test_balance(self, n, parts):
+        blocks = contiguous_blocks(n, parts)
+        sizes = [stop - start for start, stop in blocks]
+        nonzero = [s for s in sizes if s]
+        if nonzero:
+            assert max(nonzero) - min(nonzero) <= max(nonzero)
+            # Ceiling schedule: no block exceeds ceil(n/parts).
+            assert max(sizes) == -(-n // parts)
+
+
+class TestBlockBounds:
+    @given(st.integers(0, 200), st.integers(1, 20))
+    def test_matches_contiguous_blocks(self, n, parts):
+        blocks = contiguous_blocks(n, parts)
+        for t in range(parts):
+            assert block_bounds(n, parts, t) == blocks[t]
+
+    def test_part_out_of_range(self):
+        with pytest.raises(ValueError):
+            block_bounds(10, 3, 3)
+        with pytest.raises(ValueError):
+            block_bounds(10, 3, -1)
+
+
+class TestOwnerOf:
+    @given(st.integers(1, 200), st.integers(1, 20), st.data())
+    def test_owner_consistent_with_blocks(self, n, parts, data):
+        item = data.draw(st.integers(0, n - 1))
+        blocks = contiguous_blocks(n, parts)
+        t = owner_of(item, n, parts)
+        start, stop = blocks[t]
+        assert start <= item < stop
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            owner_of(10, 10, 2)

@@ -1,0 +1,106 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.bench.plot import line_chart, stacked_bar_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        chart = line_chart(
+            "title",
+            [1, 2, 4, 8],
+            {"a": [4.0, 2.0, 1.0, 0.5], "b": [3.0, 3.0, 3.0, 3.0]},
+        )
+        assert "title" in chart
+        assert "o a" in chart and "x b" in chart
+        assert "threads" in chart
+        # y-axis endpoints present
+        assert "0 |" in chart
+
+    def test_markers_present(self):
+        chart = line_chart("t", [1, 2], {"s": [1.0, 2.0]})
+        assert "o" in chart
+
+    def test_interpolation_dots(self):
+        chart = line_chart("t", [1, 10], {"s": [10.0, 1.0]}, width=40)
+        assert "." in chart
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            line_chart("t", [1, 2], {})
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError, match="two x"):
+            line_chart("t", [1], {"s": [1.0]})
+
+    def test_non_increasing_x_rejected(self):
+        with pytest.raises(ValueError, match="increasing"):
+            line_chart("t", [1, 1], {"s": [1.0, 2.0]})
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            line_chart("t", [1, 2], {"s": [1.0]})
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            line_chart("t", [1, 2], {"s": [0.0, 0.0]})
+
+    def test_row_count(self):
+        chart = line_chart("t", [1, 2], {"s": [1.0, 2.0]}, height=10)
+        # title + 10 rows + axis + x labels + legend
+        assert len(chart.splitlines()) == 14
+
+
+class TestStackedBarChart:
+    def test_basic_render(self):
+        chart = stacked_bar_chart(
+            "bars",
+            {
+                "n=0 1S": {"krp": 1.0, "gemm": 3.0},
+                "n=1 2S": {"gemm": 3.5, "gemv": 0.2},
+            },
+        )
+        assert "bars" in chart
+        assert "n=0 1S" in chart
+        assert "krp" in chart and "gemv" in chart
+
+    def test_bar_lengths_proportional(self):
+        chart = stacked_bar_chart(
+            "t", {"a": {"p": 4.0}, "b": {"p": 2.0}}, width=20
+        )
+        lines = chart.splitlines()
+        bar_a = lines[1].split("|")[1]
+        bar_b = lines[2].split("|")[1]
+        assert bar_a.count("#") == 2 * bar_b.count("#")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            stacked_bar_chart("t", {})
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            stacked_bar_chart("t", {"a": {"p": 0.0}})
+
+    def test_custom_symbols(self):
+        chart = stacked_bar_chart(
+            "t", {"a": {"p": 1.0}}, symbols={"p": "Q"}
+        )
+        assert "Q" in chart
+
+
+class TestFigureIntegration:
+    def test_fig4_plot_flag(self, capsys):
+        from repro.bench.figures import main
+
+        assert main(["fig4", "--no-measured", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 4 (modeled): KRP time vs threads" in out
+        assert "[seconds]" in out
+
+    def test_fig6_plot_flag(self, capsys):
+        from repro.bench.figures import main
+
+        assert main(["fig6", "--no-measured", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out

@@ -1,0 +1,91 @@
+"""Tests for the prediction layer (repro.machine.predict)."""
+
+import pytest
+
+from repro.core.flops import onestep_cost
+from repro.machine.model import paper_machine
+from repro.machine.predict import (
+    ALGORITHMS,
+    predict_algorithm_time,
+    predict_krp_time,
+    predict_phase_times,
+    predict_stream_time,
+)
+
+
+@pytest.fixture(scope="module")
+def m():
+    return paper_machine()
+
+
+SHAPE = (40, 50, 60, 70)
+
+
+class TestPredictAlgorithmTime:
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    @pytest.mark.parametrize("T", [1, 4, 12])
+    def test_positive_and_phases_sum(self, m, algo, T):
+        total, phases = predict_algorithm_time(m, SHAPE, 1, 10, T, algo)
+        assert total > 0
+        assert total == pytest.approx(sum(phases.values()))
+        assert all(v >= 0 for v in phases.values())
+
+    def test_unknown_algorithm(self, m):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            predict_algorithm_time(m, SHAPE, 1, 10, 1, "fourstep")
+
+    def test_twostep_external_scored_as_onestep(self, m):
+        a = predict_algorithm_time(m, SHAPE, 0, 10, 4, "twostep")
+        b = predict_algorithm_time(m, SHAPE, 0, 10, 4, "onestep")
+        assert a == b
+
+    def test_more_threads_never_slower_much(self, m):
+        for algo in ("onestep", "twostep"):
+            t1 = predict_algorithm_time(m, SHAPE, 1, 10, 1, algo)[0]
+            t12 = predict_algorithm_time(m, SHAPE, 1, 10, 12, algo)[0]
+            assert t12 < t1
+
+    def test_ttb_slower_than_baseline(self, m):
+        """The Matlab profile pays reorder + naive KRP on top of the GEMM."""
+        t_ttb = predict_algorithm_time(m, SHAPE, 1, 10, 1, "ttb")[0]
+        t_gemm = predict_algorithm_time(m, SHAPE, 1, 10, 1, "gemm-baseline")[0]
+        assert t_ttb > t_gemm
+
+    def test_ttb_naive_krp_penalty_grows_with_order(self, m):
+        # More modes => more KRP operands => bigger naive penalty.
+        _, p4 = predict_algorithm_time(m, (20, 20, 20, 20), 1, 10, 1, "ttb")
+        _, p4b = predict_algorithm_time(
+            m, (20, 20, 20, 20), 1, 10, 1, "baseline"
+        )
+        assert p4["full_krp"] > p4b["full_krp"]
+
+    def test_side_parameter_respected(self, m):
+        skew = (200, 5, 4)
+        left = predict_algorithm_time(m, skew, 1, 10, 1, "twostep", side="left")
+        right = predict_algorithm_time(
+            m, skew, 1, 10, 1, "twostep", side="right"
+        )
+        # I^L >> I^R: step-2 is cheaper left-first.
+        assert left[1]["gemv"] < right[1]["gemv"]
+
+
+class TestPredictKrp:
+    def test_reuse_faster_than_naive_z3(self, m):
+        assert predict_krp_time(m, (100, 100, 100), 25, 1, "reuse") < \
+            predict_krp_time(m, (100, 100, 100), 25, 1, "naive")
+
+    def test_unknown_schedule(self, m):
+        with pytest.raises(ValueError, match="schedule"):
+            predict_krp_time(m, (10, 10), 5, 1, "magic")
+
+    def test_stream_scales_with_entries(self, m):
+        assert predict_stream_time(m, 2 * 10**7, 1) == pytest.approx(
+            2 * predict_stream_time(m, 10**7, 1), rel=0.05
+        )
+
+
+class TestPredictPhaseTimes:
+    def test_unknown_phase_class(self, m):
+        cost = onestep_cost(SHAPE, 1, 10)
+        with pytest.raises(KeyError, match="parallel class"):
+            predict_phase_times(m, "nosuchalgo", cost, 1)

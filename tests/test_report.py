@@ -1,0 +1,122 @@
+"""Tests for the benchmark-JSON report generator."""
+
+import io
+import json
+
+import pytest
+
+from repro.bench.report import load_records, main, summarize
+
+
+@pytest.fixture
+def sample_doc():
+    return {
+        "benchmarks": [
+            {
+                "name": "test_fig4_krp[reuse-T1-Z3-C25]",
+                "stats": {"median": 0.01, "mean": 0.011},
+                "extra_info": {
+                    "figure": "fig4",
+                    "series": "3-Reuse",
+                    "Z": 3,
+                    "C": 25,
+                    "threads": 1,
+                },
+            },
+            {
+                "name": "test_fig4_krp[naive-T1-Z3-C25]",
+                "stats": {"median": 0.02, "mean": 0.021},
+                "extra_info": {
+                    "figure": "fig4",
+                    "series": "3-Naive",
+                    "Z": 3,
+                    "C": 25,
+                    "threads": 1,
+                },
+            },
+            {
+                "name": "test_ablation_twostep_side[left]",
+                "stats": {"median": 0.005, "mean": 0.005},
+                "extra_info": {"ablation": "twostep-side", "side": "left"},
+            },
+            {
+                "name": "test_other",
+                "stats": {"median": 0.001, "mean": 0.001},
+                "extra_info": {},
+            },
+        ]
+    }
+
+
+class TestLoadRecords:
+    def test_from_dict(self, sample_doc):
+        recs = load_records(sample_doc)
+        assert len(recs) == 4
+        assert recs[0]["median"] == 0.01
+        assert recs[0]["extra"]["figure"] == "fig4"
+
+    def test_from_file(self, sample_doc, tmp_path):
+        p = tmp_path / "bench.json"
+        p.write_text(json.dumps(sample_doc))
+        assert len(load_records(p)) == 4
+
+    def test_empty(self):
+        assert load_records({"benchmarks": []}) == []
+
+
+class TestSummarize:
+    def test_groups_by_figure_and_ablation(self, sample_doc):
+        out = io.StringIO()
+        summarize(load_records(sample_doc), out=out)
+        text = out.getvalue()
+        assert "== fig4 (2 benchmarks) ==" in text
+        assert "== ablation:twostep-side (1 benchmarks) ==" in text
+        assert "== other (1 benchmarks) ==" in text
+
+    def test_columns_and_values(self, sample_doc):
+        out = io.StringIO()
+        summarize(load_records(sample_doc), out=out)
+        text = out.getvalue()
+        assert "series" in text
+        assert "3-Reuse" in text and "3-Naive" in text
+        assert "0.01000" in text and "0.02000" in text
+
+
+class TestCli:
+    def test_main(self, sample_doc, tmp_path, capsys):
+        p = tmp_path / "bench.json"
+        p.write_text(json.dumps(sample_doc))
+        assert main([str(p)]) == 0
+        assert "fig4" in capsys.readouterr().out
+
+    def test_roundtrip_with_real_benchmark_run(self, tmp_path):
+        """End-to-end: run one real benchmark with --benchmark-json and
+        summarize its output."""
+        import subprocess
+        import sys as _sys
+
+        json_path = tmp_path / "real.json"
+        proc = subprocess.run(
+            [
+                _sys.executable,
+                "-m",
+                "pytest",
+                "benchmarks/test_ablations.py::test_ablation_twostep_side",
+                "--benchmark-only",
+                f"--benchmark-json={json_path}",
+                "-q",
+                "--benchmark-min-rounds=1",
+                "--benchmark-warmup=off",
+                "-p",
+                "no:cacheprovider",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        recs = load_records(json_path)
+        assert recs
+        out = io.StringIO()
+        summarize(recs, out=out)
+        assert "twostep-side" in out.getvalue()

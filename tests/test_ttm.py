@@ -1,0 +1,74 @@
+"""Tests for tensor-times-matrix."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.dense import DenseTensor
+from repro.tensor.ttm import ttm
+
+
+class TestTTM:
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_matches_einsum(self, rng, n):
+        arr = rng.random((3, 4, 5))
+        M = rng.random((arr.shape[n], 6))
+        letters = "abc"
+        out_letters = letters[:n] + "z" + letters[n + 1 :]
+        expr = f"abc,{letters[n]}z->{out_letters}"
+        out = ttm(DenseTensor(arr), M, n)
+        np.testing.assert_allclose(out.to_ndarray(), np.einsum(expr, arr, M))
+
+    def test_shape_changes_only_mode_n(self, rng):
+        X = DenseTensor(rng.random((3, 4, 5)))
+        out = ttm(X, rng.random((4, 7)), 1)
+        assert out.shape == (3, 7, 5)
+
+    def test_identity_matrix_is_noop(self, rng):
+        X = DenseTensor(rng.random((3, 4, 5)))
+        out = ttm(X, np.eye(4), 1)
+        assert out.allclose(X)
+
+    def test_composition_order_independent(self, rng):
+        # TTMs in distinct modes commute.
+        X = DenseTensor(rng.random((3, 4, 5)))
+        A = rng.random((3, 2))
+        B = rng.random((5, 6))
+        ab = ttm(ttm(X, A, 0), B, 2)
+        ba = ttm(ttm(X, B, 2), A, 0)
+        assert ab.allclose(ba)
+
+    def test_definition_via_matricization(self, rng):
+        # Y = X x_n M  <=>  Y_(n) = M^T X_(n)  (Section 2.1).
+        from repro.tensor.matricize import unfold_explicit
+
+        X = DenseTensor(rng.random((3, 4, 5)))
+        M = rng.random((4, 6))
+        Y = ttm(X, M, 1)
+        np.testing.assert_allclose(
+            unfold_explicit(Y, 1), M.T @ unfold_explicit(X, 1)
+        )
+
+    def test_output_layout_is_natural(self, rng):
+        X = DenseTensor(rng.random((3, 4, 5)))
+        out = ttm(X, rng.random((4, 2)), 1)
+        np.testing.assert_array_equal(
+            out.data, out.to_ndarray().ravel(order="F")
+        )
+
+    def test_wrong_rows(self, rng):
+        with pytest.raises(ValueError, match="rows"):
+            ttm(DenseTensor(rng.random((3, 4))), rng.random((5, 2)), 1)
+
+    def test_non_2d_matrix(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            ttm(DenseTensor(rng.random((3, 4))), rng.random(4), 1)
+
+    def test_negative_mode(self, rng):
+        arr = rng.random((3, 4))
+        out = ttm(DenseTensor(arr), rng.random((4, 2)), -1)
+        assert out.shape == (3, 2)
+
+    def test_mixed_dtype_result(self, rng):
+        X = DenseTensor(rng.random((3, 4)).astype(np.float32))
+        out = ttm(X, rng.random((4, 2)), 1)
+        assert out.dtype == np.float64

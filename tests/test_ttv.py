@@ -1,0 +1,122 @@
+"""Tests for tensor-times-vector, TTV chains, and multi-TTV."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.dense import DenseTensor
+from repro.tensor.ttv import multi_ttv, ttv, ttv_chain
+
+
+class TestTTV:
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_matches_einsum_3way(self, rng, n):
+        arr = rng.random((3, 4, 5))
+        v = rng.random(arr.shape[n])
+        expr = {0: "abc,a->bc", 1: "abc,b->ac", 2: "abc,c->ab"}[n]
+        out = ttv(DenseTensor(arr), v, n)
+        np.testing.assert_allclose(out.to_ndarray(), np.einsum(expr, arr, v))
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 3])
+    def test_matches_einsum_4way(self, rng, n):
+        arr = rng.random((2, 3, 4, 5))
+        v = rng.random(arr.shape[n])
+        letters = "abcd"
+        expr = f"abcd,{letters[n]}->" + letters.replace(letters[n], "")
+        out = ttv(DenseTensor(arr), v, n)
+        np.testing.assert_allclose(out.to_ndarray(), np.einsum(expr, arr, v))
+
+    def test_negative_mode(self, rng):
+        arr = rng.random((3, 4))
+        v = rng.random(4)
+        out = ttv(DenseTensor(arr), v, -1)
+        np.testing.assert_allclose(out.to_ndarray(), arr @ v)
+
+    def test_order1_returns_scalar(self, rng):
+        arr = rng.random(5)
+        X = DenseTensor(arr, (5,))
+        assert np.isclose(ttv(X, arr, 0), arr @ arr)
+
+    def test_wrong_length(self, rng):
+        with pytest.raises(ValueError, match="length"):
+            ttv(DenseTensor(rng.random((3, 4))), rng.random(3), 1)
+
+    def test_non_1d_vector(self, rng):
+        with pytest.raises(ValueError, match="1-D"):
+            ttv(DenseTensor(rng.random((3, 4))), rng.random((4, 1)), 1)
+
+    def test_output_layout_is_natural(self, rng):
+        # The contracted tensor's flat buffer must itself be in natural
+        # layout (Fortran ravel of its dense form), so further view-based
+        # operations compose — the property the 2-step algorithm relies on.
+        arr = rng.random((3, 4, 5))
+        out = ttv(DenseTensor(arr), rng.random(4), 1)
+        np.testing.assert_array_equal(
+            out.data, out.to_ndarray().ravel(order="F")
+        )
+
+
+class TestTTVChain:
+    def test_two_contractions(self, rng):
+        arr = rng.random((3, 4, 5))
+        u, w = rng.random(3), rng.random(5)
+        out = ttv_chain(DenseTensor(arr), [u, w], [0, 2])
+        np.testing.assert_allclose(
+            out.to_ndarray(), np.einsum("abc,a,c->b", arr, u, w)
+        )
+
+    def test_order_of_modes_irrelevant(self, rng):
+        arr = rng.random((3, 4, 5))
+        u, w = rng.random(3), rng.random(5)
+        a = ttv_chain(DenseTensor(arr), [u, w], [0, 2])
+        b = ttv_chain(DenseTensor(arr), [w, u], [2, 0])
+        np.testing.assert_allclose(a.to_ndarray(), b.to_ndarray())
+
+    def test_full_contraction_returns_scalar(self, rng):
+        arr = rng.random((3, 4))
+        u, v = rng.random(3), rng.random(4)
+        out = ttv_chain(DenseTensor(arr), [u, v], [0, 1])
+        assert np.isclose(out, u @ arr @ v)
+
+    def test_duplicate_modes_rejected(self, rng):
+        X = DenseTensor(rng.random((3, 4)))
+        with pytest.raises(ValueError, match="distinct"):
+            ttv_chain(X, [rng.random(3), rng.random(3)], [0, 0])
+
+    def test_length_mismatch(self, rng):
+        X = DenseTensor(rng.random((3, 4)))
+        with pytest.raises(ValueError, match="equal length"):
+            ttv_chain(X, [rng.random(3)], [0, 1])
+
+
+class TestMultiTTV:
+    def test_trailing_contraction(self, rng):
+        """leading=True: contract trailing modes (Figure 3d)."""
+        In, J, K, C = 3, 4, 5, 6
+        inter = rng.random((In, J, K, C))
+        Uj = rng.random((J, C))
+        Uk = rng.random((K, C))
+        L = DenseTensor(inter)
+        out = multi_ttv(L, [Uj, Uk], leading=True)
+        expected = np.einsum("ijkc,jc,kc->ic", inter, Uj, Uk)
+        np.testing.assert_allclose(out, expected)
+
+    def test_leading_contraction(self, rng):
+        """leading=False: contract leading modes (Figure 3b)."""
+        I0, I1, In, C = 3, 4, 5, 6
+        inter = rng.random((I0, I1, In, C))
+        U0 = rng.random((I0, C))
+        U1 = rng.random((I1, C))
+        R = DenseTensor(inter)
+        out = multi_ttv(R, [U0, U1], leading=False)
+        expected = np.einsum("abic,ac,bc->ic", inter, U0, U1)
+        np.testing.assert_allclose(out, expected)
+
+    def test_factor_shape_mismatch(self, rng):
+        inter = DenseTensor(rng.random((3, 4, 5)))
+        with pytest.raises(ValueError, match="do not match"):
+            multi_ttv(inter, [rng.random((9, 5))], leading=True)
+
+    def test_factor_column_mismatch(self, rng):
+        inter = DenseTensor(rng.random((3, 4, 5)))
+        with pytest.raises(ValueError, match="columns"):
+            multi_ttv(inter, [rng.random((4, 3))], leading=True)

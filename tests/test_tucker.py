@@ -1,0 +1,89 @@
+"""Tests for the HOSVD / Tucker substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cpd.tucker import TuckerTensor, hosvd
+from repro.tensor.generate import from_kruskal, random_factors, random_tensor
+
+
+class TestHosvd:
+    def test_full_rank_exact(self):
+        X = random_tensor((5, 6, 7), rng=0)
+        T = hosvd(X, (5, 6, 7))
+        assert T.full().allclose(X, atol=1e-8)
+
+    def test_lowrank_exact_compression(self):
+        U = random_factors((8, 9, 10), 3, rng=1)
+        X = from_kruskal(U)
+        T = hosvd(X, (3, 3, 3))
+        assert T.full().allclose(X, atol=1e-8)
+        assert T.compression_ratio() > 4
+
+    def test_factors_orthonormal(self):
+        X = random_tensor((6, 7, 8), rng=2)
+        T = hosvd(X, (3, 4, 5))
+        for f in T.factors:
+            np.testing.assert_allclose(
+                f.T @ f, np.eye(f.shape[1]), atol=1e-10
+            )
+
+    def test_classic_variant(self):
+        U = random_factors((7, 8, 9), 2, rng=3)
+        X = from_kruskal(U)
+        T = hosvd(X, (2, 2, 2), sequentially_truncated=False)
+        assert T.full().allclose(X, atol=1e-8)
+
+    def test_truncation_error_monotone_in_rank(self):
+        X = random_tensor((8, 8, 8), rng=4)
+        errs = []
+        for r in (2, 4, 6, 8):
+            T = hosvd(X, (r, r, r))
+            diff = T.full().data - X.data
+            errs.append(float(np.linalg.norm(diff)))
+        assert all(b <= a + 1e-12 for a, b in zip(errs, errs[1:]))
+
+    def test_core_shape(self):
+        X = random_tensor((6, 7, 8), rng=5)
+        T = hosvd(X, (2, 3, 4))
+        assert T.ranks == (2, 3, 4)
+        assert T.shape == (6, 7, 8)
+
+    def test_rank_validation(self):
+        X = random_tensor((4, 5), rng=0)
+        with pytest.raises(ValueError, match="ranks"):
+            hosvd(X, (4,))
+        with pytest.raises(ValueError, match="out of range"):
+            hosvd(X, (5, 5))
+        with pytest.raises(ValueError, match="out of range"):
+            hosvd(X, (0, 5))
+
+
+class TestTuckerTensor:
+    def test_full_matches_einsum(self, rng):
+        core = random_tensor((2, 3, 4), rng=6)
+        factors = [rng.random((5, 2)), rng.random((6, 3)), rng.random((7, 4))]
+        T = TuckerTensor(core=core, factors=factors)
+        expected = np.einsum(
+            "abc,ia,jb,kc->ijk", core.to_ndarray(), *factors
+        )
+        np.testing.assert_allclose(T.full().to_ndarray(), expected)
+
+    def test_compression_workflow_candelinc(self):
+        """Compress with HOSVD, fit CP on the core, expand — recovers the
+        same model as CP on the full tensor (standard CANDELINC)."""
+        from repro.cpd.cp_als import cp_als
+        from repro.cpd.diagnostics import factor_match_score
+        from repro.cpd.kruskal import KruskalTensor
+
+        U = random_factors((12, 13, 14), 2, rng=7)
+        X = from_kruskal(U)
+        T = hosvd(X, (2, 2, 2))
+        res = cp_als(T.core, 2, n_iter_max=200, tol=1e-13, rng=8)
+        expanded = KruskalTensor(
+            [f @ g for f, g in zip(T.factors, res.model.factors)],
+            res.model.weights,
+        )
+        assert factor_match_score(
+            expanded, KruskalTensor(U), weight_penalty=False
+        ) > 0.99

@@ -1,0 +1,64 @@
+"""Tests for repro.util.misc."""
+
+import pytest
+
+from repro.util import human_bytes, human_count, prod
+
+
+class TestProd:
+    def test_empty_is_one(self):
+        assert prod(()) == 1
+
+    def test_single(self):
+        assert prod([7]) == 7
+
+    def test_many(self):
+        assert prod([2, 3, 4]) == 24
+
+    def test_no_overflow_on_large_shapes(self):
+        # numpy.prod would overflow int64 here; prod must not.
+        dims = [2**20] * 4
+        assert prod(dims) == 2**80
+
+    def test_generator_input(self):
+        assert prod(x for x in (5, 5)) == 25
+
+
+class TestHumanBytes:
+    def test_bytes(self):
+        assert human_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert human_bytes(2048) == "2.00 KiB"
+
+    def test_gib(self):
+        assert human_bytes(3 * 1024**3) == "3.00 GiB"
+
+    def test_negative(self):
+        assert human_bytes(-2048) == "-2.00 KiB"
+
+    def test_zero(self):
+        assert human_bytes(0) == "0 B"
+
+    def test_huge_stays_in_largest_unit(self):
+        assert human_bytes(1024**6).endswith("PiB")
+
+
+class TestHumanCount:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0"),
+            (999, "999"),
+            (1500, "1.5K"),
+            (2_000_000, "2.0M"),
+            (7.5e8, "750.0M"),
+            (3e9, "3.0G"),
+            (2e12, "2.0T"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert human_count(value) == expected
+
+    def test_negative(self):
+        assert human_count(-1500) == "-1.5K"

@@ -1,0 +1,99 @@
+"""Tests for repro.util.timing (PhaseTimer)."""
+
+import threading
+import time
+
+from repro.util.timing import NULL_TIMER, PhaseTimer, wall_time
+
+
+class TestPhaseTimer:
+    def test_accumulates_time(self):
+        t = PhaseTimer()
+        with t.phase("work"):
+            time.sleep(0.01)
+        assert t.totals["work"] >= 0.009
+        assert t.counts["work"] == 1
+
+    def test_multiple_entries_accumulate(self):
+        t = PhaseTimer()
+        for _ in range(3):
+            with t.phase("p"):
+                pass
+        assert t.counts["p"] == 3
+        assert t.totals["p"] >= 0.0
+
+    def test_distinct_phases(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            pass
+        with t.phase("b"):
+            pass
+        assert set(t.totals) == {"a", "b"}
+
+    def test_add_manual(self):
+        t = PhaseTimer()
+        t.add("x", 1.5)
+        t.add("x", 0.5)
+        assert t.totals["x"] == 2.0
+        assert t.counts["x"] == 2
+
+    def test_total_sums_phases(self):
+        t = PhaseTimer()
+        t.add("a", 1.0)
+        t.add("b", 2.0)
+        assert t.total() == 3.0
+
+    def test_reset(self):
+        t = PhaseTimer()
+        t.add("a", 1.0)
+        t.reset()
+        assert t.totals == {}
+        assert t.total() == 0.0
+
+    def test_merged(self):
+        t1 = PhaseTimer()
+        t1.add("a", 1.0)
+        t2 = PhaseTimer()
+        t2.add("a", 2.0)
+        t2.add("b", 3.0)
+        m = t1.merged(t2)
+        assert m.totals == {"a": 3.0, "b": 3.0}
+        # Sources are unchanged.
+        assert t1.totals == {"a": 1.0}
+
+    def test_exception_still_recorded(self):
+        t = PhaseTimer()
+        try:
+            with t.phase("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert "boom" in t.totals
+
+    def test_thread_safety(self):
+        t = PhaseTimer()
+
+        def work():
+            for _ in range(200):
+                t.add("p", 0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert t.counts["p"] == 800
+        assert abs(t.totals["p"] - 0.8) < 1e-9
+
+
+class TestNullTimer:
+    def test_phase_is_noop(self):
+        with NULL_TIMER.phase("anything"):
+            pass
+        NULL_TIMER.add("anything", 1.0)  # no error, no state
+
+
+def test_wall_time_monotonic():
+    a = wall_time()
+    b = wall_time()
+    assert b >= a

@@ -1,0 +1,106 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_factor_matrices,
+    check_mode,
+    check_positive_int,
+    check_rank_consistent,
+    check_same_columns,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            check_positive_int(-2, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError, match="must be an integer"):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="rank"):
+            check_positive_int(-1, "rank")
+
+
+class TestCheckMode:
+    def test_in_range(self):
+        assert check_mode(2, 4) == 2
+
+    def test_negative_wraps(self):
+        assert check_mode(-1, 4) == 3
+        assert check_mode(-4, 4) == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            check_mode(4, 4)
+        with pytest.raises(ValueError, match="out of range"):
+            check_mode(-5, 4)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_mode(1.0, 3)
+
+    def test_accepts_numpy_integer(self):
+        assert check_mode(np.int32(1), 3) == 1
+
+
+class TestCheckSameColumns:
+    def test_returns_column_count(self, rng):
+        mats = [rng.random((4, 3)), rng.random((5, 3))]
+        assert check_same_columns(mats) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_same_columns([])
+
+    def test_mismatch_rejected(self, rng):
+        mats = [rng.random((4, 3)), rng.random((5, 4))]
+        with pytest.raises(ValueError, match="column count"):
+            check_same_columns(mats)
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            check_same_columns([rng.random(4)])
+
+
+class TestCheckFactorMatrices:
+    def test_valid(self, rng):
+        shape = (4, 5, 6)
+        factors = [rng.random((s, 3)) for s in shape]
+        assert check_factor_matrices(factors, shape) == 3
+
+    def test_wrong_count(self, rng):
+        with pytest.raises(ValueError, match="expected 3 factor"):
+            check_factor_matrices([rng.random((4, 3))], (4, 5, 6))
+
+    def test_wrong_rows(self, rng):
+        factors = [rng.random((4, 3)), rng.random((9, 3))]
+        with pytest.raises(ValueError, match="rows"):
+            check_factor_matrices(factors, (4, 5))
+
+
+class TestCheckRankConsistent:
+    def test_match(self, rng):
+        assert check_rank_consistent(3, [rng.random((4, 3))]) == 3
+
+    def test_mismatch(self, rng):
+        with pytest.raises(ValueError, match="rank=4"):
+            check_rank_consistent(4, [rng.random((4, 3))])

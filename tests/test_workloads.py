@@ -1,0 +1,86 @@
+"""Tests for the named workload configurations."""
+
+import pytest
+
+from repro.data.workloads import (
+    FIG4_WORKLOADS,
+    FIG5_WORKLOADS,
+    FIG7_RANKS,
+    FMRI_PAPER_4D,
+    KRPWorkload,
+    MTTKRPWorkload,
+    fig5_shape,
+    krp_dims,
+    scaled_shape,
+)
+from repro.util import prod
+
+
+class TestScaledShape:
+    def test_identity_scale(self):
+        assert scaled_shape((10, 20), 1.0) == (10, 20)
+
+    def test_volumetric(self):
+        shape = scaled_shape((100, 100, 100), 0.001)
+        assert 500 <= prod(shape) <= 2000
+
+    def test_floor_at_two(self):
+        assert min(scaled_shape((3, 3, 3), 1e-9)) == 2
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled_shape((3, 3), 0.0)
+
+    def test_preserves_order(self):
+        assert len(scaled_shape((9, 9, 9, 9), 0.01)) == 4
+
+
+class TestFig5Shape:
+    def test_paper_values(self):
+        assert fig5_shape(3) == (900,) * 3
+        assert fig5_shape(4) == (165,) * 4
+        assert fig5_shape(5) == (60,) * 5
+        assert fig5_shape(6) == (30,) * 6
+
+    def test_roughly_750m_entries(self):
+        for N in (3, 4, 5, 6):
+            assert 7.0e8 <= prod(fig5_shape(N)) <= 8.0e8
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            fig5_shape(7)
+
+
+class TestKrpDims:
+    def test_product_near_target(self):
+        for Z in (2, 3, 4):
+            assert 0.8 <= prod(krp_dims(Z)) / 2e7 <= 1.25
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            krp_dims(0)
+
+
+class TestWorkloadTables:
+    def test_fig4_covers_paper_grid(self):
+        combos = {(w.Z, w.C) for w in FIG4_WORKLOADS}
+        assert combos == {(z, c) for z in (2, 3, 4) for c in (25, 50)}
+
+    def test_fig5_covers_orders(self):
+        assert [w.N for w in FIG5_WORKLOADS] == [3, 4, 5, 6]
+        assert all(w.C == 25 for w in FIG5_WORKLOADS)
+
+    def test_fig7_ranks(self):
+        assert FIG7_RANKS == (10, 15, 20, 25, 30)
+
+    def test_fmri_paper_dims(self):
+        assert FMRI_PAPER_4D == (225, 59, 200, 200)
+
+    def test_workload_helpers(self):
+        wl = KRPWorkload(Z=3, C=25)
+        assert len(wl.dims(0.01)) == 3
+        assert "Z=3" in wl.label
+        mwl = MTTKRPWorkload(N=4)
+        assert len(mwl.shape(0.01)) == 4
+        assert mwl.entries(1.0) == prod(fig5_shape(4))
+        assert "N=4" in mwl.label
