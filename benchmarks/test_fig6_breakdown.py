@@ -37,9 +37,9 @@ def test_fig6_breakdown(benchmark, wl, algorithm, mode_kind):
         algorithm=algorithm,
         mode=mode,
         threads=1,
-        phase_seconds={k: round(v, 6) for k, v in timer.totals.items()},
+        phase_seconds={k: round(v, 6) for k, v in timer.snapshot().items()},
         phase_fractions={
-            k: round(v / total, 4) for k, v in timer.totals.items()
+            k: round(v / total, 4) for k, v in timer.snapshot().items()
         },
     )
     benchmark(mttkrp, X, U, mode, method=algorithm, num_threads=1)

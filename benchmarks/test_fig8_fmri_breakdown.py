@@ -62,7 +62,7 @@ def test_fig8_fmri_mttkrp(benchmark, kind, mode, algorithm):
             tensor=kind,
             mode=mode,
             algorithm=algorithm,
-            phase_seconds={k: round(v, 6) for k, v in timer.totals.items()},
+            phase_seconds={k: round(v, 6) for k, v in timer.snapshot().items()},
         )
         benchmark(
             mttkrp_gemm_lower_bound,
@@ -80,6 +80,6 @@ def test_fig8_fmri_mttkrp(benchmark, kind, mode, algorithm):
             tensor=kind,
             mode=mode,
             algorithm=algorithm,
-            phase_seconds={k: round(v, 6) for k, v in timer.totals.items()},
+            phase_seconds={k: round(v, 6) for k, v in timer.snapshot().items()},
         )
         benchmark(mttkrp, X, U, mode, method=algorithm, num_threads=1)

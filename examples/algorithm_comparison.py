@@ -65,8 +65,9 @@ def main() -> None:
                     repeats=3,
                 )
                 mttkrp(X, U, n, method=algo, num_threads=1, timers=timer)
+            snap = timer.snapshot()
             cells = "  ".join(
-                f"{timer.totals.get(p, 0.0):9.4f}" if p in timer.totals
+                f"{snap.get(p, 0.0):9.4f}" if p in snap
                 else f"{'-':>9}"
                 for p in PHASES
             )

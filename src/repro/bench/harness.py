@@ -167,7 +167,7 @@ def run_mttkrp_point(
         C=int(C),
         threads=int(threads),
         seconds=seconds,
-        phases=dict(timer.totals),
+        phases=timer.snapshot(),
     )
 
 

@@ -12,9 +12,12 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core.flops import baseline_cost, onestep_cost, twostep_cost
 from repro.core.mttkrp_baseline import mttkrp_baseline
 from repro.core.mttkrp_onestep import mttkrp_onestep, mttkrp_onestep_sequential
 from repro.core.mttkrp_twostep import mttkrp_twostep
+from repro.obs import get_tracer
+from repro.parallel.config import resolve_threads
 from repro.tensor.dense import DenseTensor
 from repro.util.timing import PhaseTimer
 from repro.util.validation import check_mode
@@ -76,26 +79,60 @@ def mttkrp(
     external = n == 0 or n == tensor.ndim - 1
     if method == "auto":
         method = "onestep" if external else "twostep"
+    seq_variant = method == "onestep-seq"
+    if method == "twostep" and external:
+        # The paper: "for external modes, the 2-step algorithm degenerates
+        # to the 1-step algorithm."
+        method = "onestep"
+        kwargs = {}
+    if method not in MTTKRP_METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of {MTTKRP_METHODS}"
+        )
+
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _run(tensor, factors, n, method, num_threads, timers, kwargs)
+    with tracer.span(
+        f"mttkrp.{method}", mode=n, shape=list(tensor.shape)
+    ) as span:
+        out = _run(tensor, factors, n, method, num_threads, timers, kwargs)
+        rank = int(out.shape[1])
+        span.args["rank"] = rank
+        _attach_cost(
+            span, tensor.shape, n, rank, method,
+            1 if seq_variant else resolve_threads(num_threads),
+        )
+        return out
+
+
+def _run(tensor, factors, n, method, num_threads, timers, kwargs):
     if method == "onestep":
         return mttkrp_onestep(
             tensor, factors, n, num_threads=num_threads, timers=timers, **kwargs
         )
     if method == "onestep-seq":
-        return mttkrp_onestep_sequential(tensor, factors, n, timers=timers, **kwargs)
+        return mttkrp_onestep_sequential(
+            tensor, factors, n, timers=timers, **kwargs
+        )
     if method == "twostep":
-        if external:
-            # The paper: "for external modes, the 2-step algorithm
-            # degenerates to the 1-step algorithm."
-            return mttkrp_onestep(
-                tensor, factors, n, num_threads=num_threads, timers=timers
-            )
         return mttkrp_twostep(
             tensor, factors, n, num_threads=num_threads, timers=timers, **kwargs
         )
-    if method == "baseline":
-        return mttkrp_baseline(
-            tensor, factors, n, num_threads=num_threads, timers=timers, **kwargs
-        )
-    raise ValueError(
-        f"unknown method {method!r}; expected one of {MTTKRP_METHODS}"
+    assert method == "baseline"
+    return mttkrp_baseline(
+        tensor, factors, n, num_threads=num_threads, timers=timers, **kwargs
     )
+
+
+def _attach_cost(span, shape, n, rank, method, num_threads) -> None:
+    """Attach the algorithm's analytic FLOP/byte counts as span counters."""
+    if method in ("onestep", "onestep-seq"):
+        cost = onestep_cost(shape, n, rank, num_threads)
+    elif method == "twostep":
+        cost = twostep_cost(shape, n, rank)
+    else:
+        cost = baseline_cost(shape, n, rank)
+    span.add("flops", cost.flops)
+    span.add("bytes_read", sum(p.read_bytes for p in cost.phases))
+    span.add("bytes_written", sum(p.write_bytes for p in cost.phases))

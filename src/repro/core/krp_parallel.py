@@ -18,6 +18,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.krp import krp_rows, krp_rows_naive
+from repro.obs import get_tracer
 from repro.parallel.config import resolve_threads
 from repro.parallel.pool import get_pool
 from repro.util import prod
@@ -68,15 +69,17 @@ def khatri_rao_parallel(
     elif out.shape != (rows, C):
         raise ValueError(f"out has shape {out.shape}, expected {(rows, C)}")
 
-    if T == 1:
-        return kernel(mats, 0, rows, out=out)
+    tracer = get_tracer()
+    with tracer.span("krp.parallel", rows=rows, C=C, schedule=schedule):
+        if T == 1:
+            return kernel(mats, 0, rows, out=out)
 
-    pool = get_pool(T)
+        pool = get_pool(T)
 
-    def work(t: int, start: int, stop: int) -> None:
-        # Each thread writes only its disjoint row block of the shared
-        # output; krp_rows re-derives the multi-index state from `start`.
-        kernel(mats, start, stop, out=out[start:stop])
+        def work(t: int, start: int, stop: int) -> None:
+            # Each thread writes only its disjoint row block of the shared
+            # output; krp_rows re-derives the multi-index state from `start`.
+            kernel(mats, start, stop, out=out[start:stop])
 
-    pool.parallel_for(work, rows)
-    return out
+        pool.parallel_for(work, rows, label="krp.rows")
+        return out

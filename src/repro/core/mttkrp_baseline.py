@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.krp import khatri_rao
 from repro.core.mttkrp_onestep import krp_operands
+from repro.obs import get_tracer
 from repro.parallel.blas import blas_threads
 from repro.parallel.config import resolve_threads
 from repro.tensor.dense import DenseTensor
@@ -67,12 +68,14 @@ def mttkrp_baseline(
     check_factor_matrices(list(factors), tensor.shape)
     T = resolve_threads(num_threads)
     t = timers if timers is not None else NULL_TIMER
-    with t.phase("reorder"):
+    tr = get_tracer()
+    with t.phase("reorder"), tr.span("reorder"):
         # The memory-bound entry reordering the paper's algorithms avoid.
         Xn = unfold_explicit(tensor, n, order="F")
-    with t.phase("full_krp"):
+    with t.phase("full_krp"), tr.span("full_krp"):
         K = khatri_rao(krp_operands(factors, n))
-    with blas_threads(T), t.phase("gemm"):
+    with blas_threads(T), t.phase("gemm"), tr.span("gemm"):
+        tr.add_counter("gemm_calls", 1)
         return Xn @ K
 
 

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.core.krp import khatri_rao, krp_rows
 from repro.core.krp_parallel import khatri_rao_parallel
+from repro.obs import get_tracer
 from repro.parallel.config import resolve_threads
 from repro.parallel.partition import contiguous_blocks
 from repro.parallel.pool import get_pool
@@ -106,15 +107,18 @@ def mttkrp_onestep_sequential(
     """
     n, rank = _validate(tensor, factors, n)
     t = timers if timers is not None else NULL_TIMER
-    with t.phase("full_krp"):
+    tr = get_tracer()
+    with t.phase("full_krp"), tr.span("full_krp"):
         K = khatri_rao(krp_operands(factors, n))
     p = mode_products(tensor.shape, n)
     if n == 0:
-        with t.phase("gemm"):
+        with t.phase("gemm"), tr.span("gemm"):
+            tr.add_counter("gemm_calls", 1)
             return tensor.unfold_mode0() @ K  # X_(0) is column-major
     M = np.zeros((p.size, rank), dtype=np.result_type(tensor.dtype, K.dtype))
     blocks = tensor.mode_blocks_view(n)  # (IRn, In, ILn), row-major blocks
-    with t.phase("gemm"):
+    with t.phase("gemm"), tr.span("gemm"):
+        tr.add_counter("gemm_calls", p.right)
         for j in range(p.right):
             # Conformal partition: KRP row block j has height I^L_n.
             M += blocks[j] @ K[j * p.left : (j + 1) * p.left]
@@ -173,15 +177,17 @@ def _onestep_external(
     """External modes: parallelize over matricization columns (Alg. 3 l.2-9)."""
     p = mode_products(tensor.shape, n)
     operands = krp_operands(factors, n)
+    tr = get_tracer()
     # X_(0) is the column-major unfold; X_(N-1) the row-major one.  Either
     # way a contiguous *column* slice is directly GEMM-able.
     Xn = tensor.unfold_mode0() if n == 0 else tensor.unfold_last()
     blocks = contiguous_blocks(p.other, T)
 
     if T == 1:
-        with t.phase("full_krp"):
+        with t.phase("full_krp"), tr.span("full_krp"):
             K = krp_rows(operands, 0, p.other)
-        with t.phase("gemm"):
+        with t.phase("gemm"), tr.span("gemm"):
+            tr.add_counter("gemm_calls", 1)
             return Xn @ K
 
     out = allocate_private(T, (p.size, rank), dtype=tensor.dtype)
@@ -203,11 +209,15 @@ def _onestep_external(
         t2 = _clock()
         krp_time[worker] = t1 - t0
         gemm_time[worker] = t2 - t1
+        if tr.enabled:
+            tr.record("full_krp", t0, t1, worker=worker)
+            tr.record("gemm", t1, t2, worker=worker)
 
-    pool.parallel_for(work, T)
+    pool.parallel_for(work, T, label="mttkrp.onestep.external")
     t.add("full_krp", float(krp_time.max()))
     t.add("gemm", float(gemm_time.max()))
-    with t.phase("reduce"):
+    tr.add_counter("gemm_calls", T)
+    with t.phase("reduce"), tr.span("reduce"):
         return parallel_reduce(out, pool).copy()
 
 
@@ -234,14 +244,20 @@ def _internal_range(
     Mt: np.ndarray,
     jstart: int,
     jstop: int,
-) -> tuple[float, float]:
+    tracer=None,
+) -> tuple[float, float, int]:
     """Process matricization blocks ``[jstart, jstop)`` into ``Mt``.
 
-    Returns (krp seconds, gemm seconds) for the breakdown figures.
+    Returns (krp seconds, gemm seconds, batched-GEMM call count) for the
+    breakdown figures and trace counters; when ``tracer`` is live, each
+    chunk's KRP and GEMM intervals are recorded as spans on the calling
+    (worker) thread.
     """
     rank = KL.shape[1]
     chunk = _internal_chunk(KL.shape[0], rank, jstop - jstart)
     tk = tg = 0.0
+    calls = 0
+    traced = tracer is not None and tracer.enabled
     for j0 in range(jstart, jstop, chunk):
         j1 = min(j0 + chunk, jstop)
         t0 = _clock()
@@ -253,9 +269,14 @@ def _internal_range(
         # One GEMM per block, issued as a strided batch:
         # (b, In, ILn) @ (b, ILn, C) -> (b, In, C), summed into Mt.
         Mt += np.matmul(blocks3[j0:j1], Kt).sum(axis=0)
+        t2 = _clock()
         tk += t1 - t0
-        tg += _clock() - t1
-    return tk, tg
+        tg += t2 - t1
+        calls += 1
+        if traced:
+            tracer.record("lr_krp", t0, t1, blocks=j1 - j0)
+            tracer.record("gemm", t1, t2, blocks=j1 - j0)
+    return tk, tg, calls
 
 
 def _onestep_internal(
@@ -268,7 +289,8 @@ def _onestep_internal(
 ) -> np.ndarray:
     """Internal modes: parallelize over matricization blocks (Alg. 3 l.10-17)."""
     p = mode_products(tensor.shape, n)
-    with t.phase("lr_krp"):
+    tr = get_tracer()
+    with t.phase("lr_krp"), tr.span("lr_krp"):
         # Left partial KRP K_L = U_{n-1} krp ... krp U_0, formed in parallel.
         left_ops = [np.asarray(factors[k]) for k in range(n - 1, -1, -1)]
         KL = khatri_rao_parallel(left_ops, num_threads=T)
@@ -277,23 +299,30 @@ def _onestep_internal(
 
     if T == 1:
         M = np.zeros((p.size, rank), dtype=tensor.dtype)
-        tk, tg = _internal_range(blocks3, right_ops, KL, M, 0, p.right)
+        tk, tg, calls = _internal_range(
+            blocks3, right_ops, KL, M, 0, p.right, tracer=tr
+        )
         t.add("lr_krp", tk)
         t.add("gemm", tg)
+        tr.add_counter("gemm_calls", calls)
         return M
 
     out = allocate_private(T, (p.size, rank), dtype=tensor.dtype)
     pool = get_pool(T)
     krp_time = np.zeros(T)
     gemm_time = np.zeros(T)
+    gemm_calls = np.zeros(T, dtype=np.int64)
 
     def work(worker: int, jstart: int, jstop: int) -> None:
-        krp_time[worker], gemm_time[worker] = _internal_range(
-            blocks3, right_ops, KL, out[worker], jstart, jstop
+        krp_time[worker], gemm_time[worker], gemm_calls[worker] = (
+            _internal_range(
+                blocks3, right_ops, KL, out[worker], jstart, jstop, tracer=tr
+            )
         )
 
-    pool.parallel_for(work, p.right)
+    pool.parallel_for(work, p.right, label="mttkrp.onestep.internal")
     t.add("lr_krp", float(krp_time.max()))
     t.add("gemm", float(gemm_time.max()))
-    with t.phase("reduce"):
+    tr.add_counter("gemm_calls", int(gemm_calls.sum()))
+    with t.phase("reduce"), tr.span("reduce"):
         return parallel_reduce(out, pool).copy()

@@ -37,6 +37,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.krp import khatri_rao
+from repro.obs import get_tracer
 from repro.parallel.blas import blas_threads
 from repro.parallel.config import resolve_threads
 from repro.tensor.dense import DenseTensor
@@ -108,9 +109,10 @@ def mttkrp_twostep(
         raise ValueError(f"side must be 'auto', 'left' or 'right', got {side!r}")
     T = resolve_threads(num_threads)
     t = timers if timers is not None else NULL_TIMER
+    tr = get_tracer()
     N = tensor.ndim
 
-    with t.phase("lr_krp"):
+    with t.phase("lr_krp"), tr.span("lr_krp"):
         # K_L = U_{n-1} krp ... krp U_0 (mode-0 index fastest);
         # K_R = U_{N-1} krp ... krp U_{n+1} (mode-(n+1) index fastest).
         KL = khatri_rao([np.asarray(factors[k]) for k in range(n - 1, -1, -1)])
@@ -123,10 +125,11 @@ def mttkrp_twostep(
         if side == "left":
             # Step 1 (Fig. 3c): L = X_(0:n-1)^T . K_L; the transpose view is
             # row-major, so this is a single well-shaped GEMM.
-            with t.phase("gemm"):
+            with t.phase("gemm"), tr.span("gemm", side="left"):
                 # Computed transposed (L^T = K_L^T . X_(0:n-1)) so the
                 # C-contiguous GEMM output *is* the natural layout of L —
                 # same BLAS call, no data movement afterwards.
+                tr.add_counter("gemm_calls", 1)
                 LmatT = KL.T @ tensor.unfold_front(n - 1)
             # L is the (I_n x I_{n+1} x ... x I_{N-1} x C) intermediate in
             # natural layout (rows of L linearize modes n.., mode n fastest),
@@ -134,25 +137,28 @@ def mttkrp_twostep(
             L = DenseTensor(
                 LmatT.ravel(), tensor.shape[n:] + (KL.shape[1],)
             )
-            with t.phase("gemv"):
+            with t.phase("gemv"), tr.span("gemv", side="left"):
                 # Step 2 (Fig. 3d): contract trailing modes against K_R's
                 # columns, one GEMV per rank column.
+                tr.add_counter("gemv_calls", KL.shape[1])
                 return multi_ttv(
                     L, [np.asarray(factors[k]) for k in range(n + 1, N)],
                     leading=True,
                 )
         else:
             # Step 1 (Fig. 3a): R = X_(0:n) . K_R on the column-major view.
-            with t.phase("gemm"):
+            with t.phase("gemm"), tr.span("gemm", side="right"):
                 # Transposed form (R^T = K_R^T . X_(0:n)^T) for the same
                 # reason: the GEMM writes R directly in natural layout.
+                tr.add_counter("gemm_calls", 1)
                 RmatT = KR.T @ tensor.unfold_front(n).T
             R = DenseTensor(
                 RmatT.ravel(), tensor.shape[: n + 1] + (KR.shape[1],)
             )
-            with t.phase("gemv"):
+            with t.phase("gemv"), tr.span("gemv", side="right"):
                 # Step 2 (Fig. 3b): contract leading modes against K_L's
                 # columns.
+                tr.add_counter("gemv_calls", KR.shape[1])
                 return multi_ttv(
                     R, [np.asarray(factors[k]) for k in range(n)],
                     leading=False,

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.dispatch import mttkrp
 from repro.cpd.gram import GramCache
+from repro.obs import get_tracer
 from repro.cpd.init import initialize_factors
 from repro.cpd.kruskal import KruskalTensor
 from repro.tensor.dense import DenseTensor
@@ -178,14 +179,15 @@ def cp_als(
     weights = np.ones(rank)
     grams = GramCache(factors)
     timers = PhaseTimer()
+    tracer = get_tracer()
     result = CPALSResult(model=KruskalTensor(factors, weights), timers=timers)
     previous_fit = -np.inf
 
     def update_mode(n: int, M: np.ndarray, it: int) -> None:
         nonlocal weights
-        with timers.phase("gram"):
+        with timers.phase("gram"), tracer.span("gram"):
             H = grams.hadamard(skip=n)
-        with timers.phase("solve"):
+        with timers.phase("solve"), tracer.span("solve"):
             factors[n] = _solve_update(M, H)
             # Column normalization keeps factor magnitudes balanced
             # across modes (2-norms first iteration, max-norms after,
@@ -198,65 +200,86 @@ def cp_als(
             factors[n] /= weights
         grams.update(n)
 
-    for it in range(n_iter_max):
-        t_start = wall_time()
-        M = None
-        if mode_strategy == "per-mode":
-            for n in range(N):
-                M = mttkrp(
-                    tensor,
-                    factors,
-                    n,
-                    method=method,
-                    num_threads=num_threads,
-                    timers=timers,
-                )
-                update_mode(n, M, it)
-        else:
-            # Dimension tree (Phan et al. III.C): one partial contraction
-            # per half-iteration, shared by all modes of that half.
-            from repro.core.dimtree import (
-                left_partial,
-                node_mttkrp,
-                right_partial,
-                split_point,
-            )
+    with tracer.span(
+        "cp_als",
+        rank=rank,
+        shape=list(tensor.shape),
+        mode_strategy=mode_strategy,
+        method=method,
+    ):
+        for it in range(n_iter_max):
+            with tracer.span(f"iter[{it}]"):
+                t_start = wall_time()
+                M = None
+                if mode_strategy == "per-mode":
+                    for n in range(N):
+                        with tracer.span(f"mode[{n}]"):
+                            M = mttkrp(
+                                tensor,
+                                factors,
+                                n,
+                                method=method,
+                                num_threads=num_threads,
+                                timers=timers,
+                            )
+                            update_mode(n, M, it)
+                else:
+                    # Dimension tree (Phan et al. III.C): one partial
+                    # contraction per half-iteration, shared by all modes
+                    # of that half.
+                    from repro.core.dimtree import (
+                        left_partial,
+                        node_mttkrp,
+                        right_partial,
+                        split_point,
+                    )
 
-            m = split_point(N)
-            # T_L depends only on the right factors -> valid while the
-            # left modes update in sequence.
-            T_L = left_partial(
-                tensor, factors, m, num_threads=num_threads, timers=timers
-            )
-            for n in range(m):
-                M = node_mttkrp(T_L, factors[:m], keep=n, timers=timers)
-                update_mode(n, M, it)
-            # T_R must see the freshly updated left factors.
-            T_R = right_partial(
-                tensor, factors, m, num_threads=num_threads, timers=timers
-            )
-            for n in range(m, N):
-                M = node_mttkrp(
-                    T_R, factors[m:], keep=n - m, timers=timers
-                )
-                update_mode(n, M, it)
-        result.iteration_times.append(wall_time() - t_start)
+                    m = split_point(N)
+                    # T_L depends only on the right factors -> valid while
+                    # the left modes update in sequence.
+                    with tracer.span("partial[left]"):
+                        T_L = left_partial(
+                            tensor, factors, m,
+                            num_threads=num_threads, timers=timers,
+                        )
+                    for n in range(m):
+                        with tracer.span(f"mode[{n}]"):
+                            M = node_mttkrp(
+                                T_L, factors[:m], keep=n, timers=timers
+                            )
+                            update_mode(n, M, it)
+                    # T_R must see the freshly updated left factors.
+                    with tracer.span("partial[right]"):
+                        T_R = right_partial(
+                            tensor, factors, m,
+                            num_threads=num_threads, timers=timers,
+                        )
+                    for n in range(m, N):
+                        with tracer.span(f"mode[{n}]"):
+                            M = node_mttkrp(
+                                T_R, factors[m:], keep=n - m, timers=timers
+                            )
+                            update_mode(n, M, it)
+                result.iteration_times.append(wall_time() - t_start)
 
-        # Fit via the last mode's MTTKRP (no extra tensor pass):
-        # <X, Y> = sum_{i,c} M(i,c) U_{N-1}(i,c) w_c ; |Y|^2 = w^T H* w.
-        assert M is not None
-        inner = float(np.einsum("ic,ic,c->", M, factors[N - 1], weights))
-        norm_y_sq = float(weights @ grams.hadamard_all() @ weights)
-        residual_sq = max(norm_x**2 - 2.0 * inner + norm_y_sq, 0.0)
-        fit = 1.0 - np.sqrt(residual_sq) / norm_x
-        result.fits.append(fit)
-        result.iterations = it + 1
-        if verbose:
-            print(f"iter {it + 1:3d}: fit = {fit:.8f}")
-        if tol > 0 and abs(fit - previous_fit) < tol:
-            result.converged = True
-            break
-        previous_fit = fit
+                # Fit via the last mode's MTTKRP (no extra tensor pass):
+                # <X, Y> = sum_{i,c} M(i,c) U_{N-1}(i,c) w_c ;
+                # |Y|^2 = w^T H* w.
+                assert M is not None
+                inner = float(
+                    np.einsum("ic,ic,c->", M, factors[N - 1], weights)
+                )
+                norm_y_sq = float(weights @ grams.hadamard_all() @ weights)
+                residual_sq = max(norm_x**2 - 2.0 * inner + norm_y_sq, 0.0)
+                fit = 1.0 - np.sqrt(residual_sq) / norm_x
+                result.fits.append(fit)
+                result.iterations = it + 1
+                if verbose:
+                    print(f"iter {it + 1:3d}: fit = {fit:.8f}")
+                if tol > 0 and abs(fit - previous_fit) < tol:
+                    result.converged = True
+                    break
+                previous_fit = fit
 
     result.model = KruskalTensor(
         [f.copy() for f in factors], weights.copy()

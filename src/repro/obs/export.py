@@ -1,0 +1,301 @@
+"""Trace exporters: Chrome trace-event JSON and phase-breakdown tables.
+
+Two consumers of a :class:`~repro.obs.tracer.Tracer`:
+
+* :func:`chrome_trace` / :func:`save_chrome_trace` — the Chrome
+  trace-event format (the ``traceEvents`` JSON loadable in
+  ``chrome://tracing`` or https://ui.perfetto.dev).  Every span becomes a
+  complete ("X") event on its recording thread's lane; span args and
+  counters ride along in ``args``, so FLOPs, byte counts and per-region
+  imbalance are inspectable per event.
+* :func:`summary` — a text table reproducing the paper's Figure 6/8
+  phase-breakdown view from a single trace: leaf spans aggregated by name
+  (calls, seconds, share, achieved GFLOP/s where a ``flops`` counter is
+  present), followed by a per-region load-imbalance table.
+
+:func:`phase_totals` / :func:`phase_timer_from_trace` bridge back into the
+pre-existing :class:`~repro.util.timing.PhaseTimer` world, so anything
+written against phase-total dicts (the figure harnesses, the report
+helpers) can consume a trace unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.tracer import Tracer
+from repro.util.timing import PhaseTimer
+
+__all__ = [
+    "chrome_trace",
+    "save_chrome_trace",
+    "summary",
+    "summarize_records",
+    "records_from_events",
+    "phase_totals",
+    "phase_timer_from_trace",
+]
+
+
+def _json_default(obj):
+    """Coerce numpy scalars (and anything else numeric-ish) for json."""
+    try:
+        return float(obj)
+    except (TypeError, ValueError):
+        return str(obj)
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """Render a tracer as a Chrome trace-event dict.
+
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms", ...}``;
+    timestamps are microseconds relative to the tracer's epoch.
+    """
+    pid = os.getpid()
+    events: list[dict] = []
+    thread_names: dict[int, str] = {}
+    for sp in tracer.spans():
+        thread_names.setdefault(sp.tid, sp.thread_name)
+        args = {"path": sp.path}
+        args.update(sp.args)
+        args.update(sp.counters)
+        events.append(
+            {
+                "name": sp.name,
+                "cat": sp.path.split("/", 1)[0],
+                "ph": "X",
+                "ts": (sp.start - tracer.epoch) * 1e6,
+                "dur": sp.duration * 1e6,
+                "pid": pid,
+                "tid": sp.tid,
+                "args": args,
+            }
+        )
+    for tid, name in sorted(thread_names.items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "epoch_unix_s": tracer.epoch_unix,
+            "tracer_counters": dict(tracer.counters),
+        },
+    }
+
+
+def save_chrome_trace(tracer: Tracer, path: str) -> str:
+    """Write the Chrome trace JSON to ``path``; returns the path."""
+    trace = chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, default=_json_default)
+    return path
+
+
+# --------------------------------------------------------------------- #
+# Aggregation (shared between live tracers and loaded trace files)
+# --------------------------------------------------------------------- #
+
+
+def _records_from_tracer(tracer: Tracer) -> list[dict]:
+    return [
+        {
+            "name": sp.name,
+            "path": sp.path,
+            "seconds": sp.duration,
+            "counters": sp.counters,
+        }
+        for sp in tracer.spans()
+    ]
+
+
+def records_from_events(events: list[dict]) -> list[dict]:
+    """Normalize loaded Chrome trace events into aggregation records.
+
+    Only complete ("X") events are considered; counters are recovered from
+    the numeric entries of each event's ``args``.
+    """
+    records = []
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        args = ev.get("args", {}) or {}
+        counters = {
+            k: v
+            for k, v in args.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+        records.append(
+            {
+                "name": ev.get("name", "?"),
+                "path": args.get("path", ev.get("name", "?")),
+                "seconds": float(ev.get("dur", 0.0)) / 1e6,
+                "counters": counters,
+            }
+        )
+    return records
+
+
+def _leaf_records(records: list[dict]) -> list[dict]:
+    """Records whose path never appears as another record's ancestor."""
+    parents = set()
+    for rec in records:
+        path = rec["path"]
+        if "/" in path:
+            parents.add(path.rsplit("/", 1)[0])
+    return [rec for rec in records if rec["path"] not in parents]
+
+
+def _phase_leaf_records(records: list[dict]) -> list[dict]:
+    """Leaf records for the phase breakdown.
+
+    Parallel-region spans (``imbalance`` counter) and the pool's per-worker
+    wrapper spans (``*.worker``) are bookkeeping around the real phase
+    spans recorded inside the workers; dropping them *before* the leaf
+    computation both avoids double-counting their wall time and lets an
+    enclosing phase span (e.g. ``reduce``) surface as the leaf when its
+    only children were regions.
+    """
+    filtered = [
+        rec
+        for rec in records
+        if "imbalance" not in rec["counters"]
+        and not rec["name"].endswith(".worker")
+    ]
+    return _leaf_records(filtered)
+
+
+def phase_totals(source: Tracer | list[dict]) -> dict[str, float]:
+    """Leaf-span wall time aggregated by span name (a ``totals`` dict).
+
+    Mirrors :attr:`repro.util.timing.PhaseTimer.totals` so trace-derived
+    breakdowns plug into the existing figure machinery.
+    """
+    records = (
+        _records_from_tracer(source) if isinstance(source, Tracer) else source
+    )
+    totals: dict[str, float] = {}
+    for rec in _phase_leaf_records(records):
+        totals[rec["name"]] = totals.get(rec["name"], 0.0) + rec["seconds"]
+    return totals
+
+
+def phase_timer_from_trace(tracer: Tracer) -> PhaseTimer:
+    """Build a :class:`PhaseTimer` from a trace's leaf spans.
+
+    The backward-compatibility bridge: any consumer written against
+    ``PhaseTimer`` (report tables, figure drivers) can be fed a trace.
+    """
+    records = _records_from_tracer(tracer)
+    timer = PhaseTimer()
+    for rec in _phase_leaf_records(records):
+        timer.add(rec["name"], rec["seconds"])
+    return timer
+
+
+def summarize_records(records: list[dict]) -> str:
+    """Text summary (phase breakdown + region imbalance) of trace records."""
+    lines: list[str] = []
+    leaves = _phase_leaf_records(records)
+    by_name: dict[str, dict] = {}
+    for rec in leaves:
+        agg = by_name.setdefault(
+            rec["name"], {"calls": 0, "seconds": 0.0, "flops": 0.0}
+        )
+        agg["calls"] += 1
+        agg["seconds"] += rec["seconds"]
+        agg["flops"] += rec["counters"].get("flops", 0.0)
+    total = sum(a["seconds"] for a in by_name.values()) or 1.0
+
+    lines.append("phase breakdown (leaf spans)")
+    lines.append(
+        f"{'phase':<28} {'calls':>7} {'seconds':>10} {'share':>7} "
+        f"{'GFLOP/s':>9}"
+    )
+    for name, agg in sorted(
+        by_name.items(), key=lambda kv: -kv[1]["seconds"]
+    ):
+        rate = (
+            f"{agg['flops'] / agg['seconds'] / 1e9:9.2f}"
+            if agg["flops"] > 0 and agg["seconds"] > 0
+            else f"{'-':>9}"
+        )
+        lines.append(
+            f"{name:<28} {agg['calls']:>7d} {agg['seconds']:>10.4f} "
+            f"{agg['seconds'] / total:>6.1%} {rate}"
+        )
+
+    flop_spans = [r for r in records if r["counters"].get("flops", 0.0) > 0]
+    if flop_spans:
+        by_algo: dict[str, dict] = {}
+        for rec in flop_spans:
+            agg = by_algo.setdefault(
+                rec["name"],
+                {"calls": 0, "seconds": 0.0, "flops": 0.0, "bytes": 0.0},
+            )
+            agg["calls"] += 1
+            agg["seconds"] += rec["seconds"]
+            agg["flops"] += rec["counters"]["flops"]
+            agg["bytes"] += rec["counters"].get("bytes_read", 0.0)
+            agg["bytes"] += rec["counters"].get("bytes_written", 0.0)
+        lines.append("")
+        lines.append("algorithm spans (analytic FLOP/byte counters)")
+        lines.append(
+            f"{'span':<28} {'calls':>7} {'seconds':>10} {'GFLOP/s':>9} "
+            f"{'GB/s':>9}"
+        )
+        for name, agg in sorted(
+            by_algo.items(), key=lambda kv: -kv[1]["seconds"]
+        ):
+            secs = agg["seconds"] or float("inf")
+            lines.append(
+                f"{name:<28} {agg['calls']:>7d} {agg['seconds']:>10.4f} "
+                f"{agg['flops'] / secs / 1e9:>9.2f} "
+                f"{agg['bytes'] / secs / 1e9:>9.2f}"
+            )
+
+    regions = [r for r in records if "imbalance" in r["counters"]]
+    if regions:
+        by_region: dict[str, dict] = {}
+        for rec in regions:
+            agg = by_region.setdefault(
+                rec["name"],
+                {"regions": 0, "seconds": 0.0, "imb_sum": 0.0,
+                 "imb_max": 0.0, "workers": 0.0},
+            )
+            agg["regions"] += 1
+            agg["seconds"] += rec["seconds"]
+            agg["imb_sum"] += rec["counters"]["imbalance"]
+            agg["imb_max"] = max(agg["imb_max"], rec["counters"]["imbalance"])
+            agg["workers"] = max(
+                agg["workers"], rec["counters"].get("workers", 0.0)
+            )
+        lines.append("")
+        lines.append("parallel regions (load imbalance = max/mean worker time)")
+        lines.append(
+            f"{'region':<32} {'regions':>7} {'seconds':>10} {'workers':>7} "
+            f"{'imb avg':>8} {'imb max':>8}"
+        )
+        for name, agg in sorted(
+            by_region.items(), key=lambda kv: -kv[1]["seconds"]
+        ):
+            lines.append(
+                f"{name:<32} {agg['regions']:>7d} {agg['seconds']:>10.4f} "
+                f"{int(agg['workers']):>7d} "
+                f"{agg['imb_sum'] / agg['regions']:>8.3f} "
+                f"{agg['imb_max']:>8.3f}"
+            )
+    return "\n".join(lines)
+
+
+def summary(tracer: Tracer) -> str:
+    """Figure 6/8-style phase-breakdown text table for a live tracer."""
+    return summarize_records(_records_from_tracer(tracer))

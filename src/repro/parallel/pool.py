@@ -25,8 +25,10 @@ thread after the region completes, with the worker index attached.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Callable, Sequence
 
+from repro.obs.tracer import get_tracer
 from repro.parallel.partition import contiguous_blocks
 
 __all__ = ["ThreadPool", "get_pool", "shutdown_all_pools"]
@@ -103,11 +105,22 @@ class ThreadPool:
                 if self._pending == 0:
                     self._done_cv.notify_all()
 
-    def run_tasks(self, tasks: Sequence[Callable[[], None]]) -> None:
+    def run_tasks(
+        self,
+        tasks: Sequence[Callable[[], None]],
+        label: str | None = None,
+    ) -> None:
         """Execute one callable per thread; blocks until all complete.
 
         ``tasks`` must have exactly ``num_threads`` entries; ``None``
         entries are allowed and mean "this thread idles this region".
+
+        When tracing is enabled (:mod:`repro.obs`), the region is recorded
+        as a span named ``label`` (default ``"pool.region"``) carrying the
+        per-worker wall times and the load-imbalance metric (max/mean
+        worker time), plus one child span per participating worker on that
+        worker's own thread lane.  With tracing disabled this adds one
+        attribute check to the region launch.
         """
         if len(tasks) != self.num_threads:
             raise ValueError(
@@ -115,6 +128,40 @@ class ThreadPool:
             )
         if self._shutdown:
             raise RuntimeError("pool has been shut down")
+        tracer = get_tracer()
+        if not tracer.enabled:
+            self._execute(tasks)
+            return
+        name = label or "pool.region"
+        times: list[float | None] = [None] * self.num_threads
+
+        def timed(index: int, task: Callable[[], None]) -> Callable[[], None]:
+            def run() -> None:
+                start = time.perf_counter()
+                try:
+                    with tracer.span(f"{name}.worker", worker=index):
+                        task()
+                finally:
+                    times[index] = time.perf_counter() - start
+
+            return run
+
+        wrapped = [
+            None if task is None else timed(i, task)
+            for i, task in enumerate(tasks)
+        ]
+        region_start = time.perf_counter()
+        try:
+            self._execute(wrapped)
+        finally:
+            tracer.record_region(
+                name,
+                region_start,
+                time.perf_counter(),
+                [s for s in times if s is not None],
+            )
+
+    def _execute(self, tasks: Sequence[Callable[[], None] | None]) -> None:
         if self.num_threads == 1:
             if tasks[0] is not None:
                 tasks[0]()
@@ -139,6 +186,7 @@ class ThreadPool:
         num_items: int,
         schedule: str = "static",
         chunk: int | None = None,
+        label: str | None = None,
     ) -> None:
         """OpenMP-style worksharing loop: ``fn(t, start, stop)`` per chunk.
 
@@ -161,6 +209,9 @@ class ThreadPool:
         chunk:
             Dynamic chunk size; defaults to
             ``max(num_items // (8 * num_threads), 1)``.
+        label:
+            Region name used when tracing is enabled (see
+            :meth:`run_tasks`).
         """
         if schedule == "static":
             blocks = contiguous_blocks(num_items, self.num_threads)
@@ -172,7 +223,7 @@ class ThreadPool:
                     tasks.append(
                         lambda t=t, start=start, stop=stop: fn(t, start, stop)
                     )
-            self.run_tasks(tasks)
+            self.run_tasks(tasks, label=label)
             return
         if schedule != "dynamic":
             raise ValueError(
@@ -200,7 +251,8 @@ class ThreadPool:
                 fn(t, start, stop)
 
         self.run_tasks(
-            [lambda t=t: worker_loop(t) for t in range(self.num_threads)]
+            [lambda t=t: worker_loop(t) for t in range(self.num_threads)],
+            label=label,
         )
 
     def shutdown(self) -> None:

@@ -75,6 +75,6 @@ def parallel_reduce(
             for dst, src in pairs[start:stop]:
                 buffers[dst] += buffers[src]
 
-        pool.parallel_for(level, len(pairs))
+        pool.parallel_for(level, len(pairs), label="reduce.tree")
         stride *= 2
     return buffers[0]

@@ -66,16 +66,31 @@ class PhaseTimer:
         with self._lock:
             return sum(self.totals.values())
 
+    def snapshot(self) -> dict[str, float]:
+        """Consistent copy of the phase totals, taken under the lock.
+
+        Readers should prefer this (or :meth:`as_dict`) over touching
+        :attr:`totals` directly: a direct read can race with concurrent
+        ``phase()`` exits from pool workers and observe a dict mid-update.
+        """
+        with self._lock:
+            return dict(self.totals)
+
+    def as_dict(self) -> dict[str, dict]:
+        """Lock-protected copy of both totals and entry counts."""
+        with self._lock:
+            return {"totals": dict(self.totals), "counts": dict(self.counts)}
+
     def reset(self) -> None:
         """Drop all accumulated data."""
         with self._lock:
             self.totals.clear()
             self.counts.clear()
 
-    def merged(self, other: "PhaseTimer") -> "PhaseTimer":
-        """New timer with phase totals summed across ``self`` and ``other``."""
+    def merged(self, *others: "PhaseTimer") -> "PhaseTimer":
+        """New timer with phase totals summed across ``self`` and ``others``."""
         out = PhaseTimer()
-        for src in (self, other):
+        for src in (self, *others):
             with src._lock:
                 for k, v in src.totals.items():
                     out.totals[k] = out.totals.get(k, 0.0) + v

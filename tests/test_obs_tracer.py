@@ -1,0 +1,197 @@
+"""Tracer core: nesting, thread safety, counters, and the disabled path."""
+
+import gc
+import sys
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, get_tracer
+from repro.parallel.pool import ThreadPool
+
+
+@pytest.fixture
+def live_tracer():
+    tracer = obs.enable()
+    yield tracer
+    obs.disable()
+
+
+class TestNesting:
+    def test_paths_follow_span_stack(self):
+        tr = Tracer()
+        with tr.span("cp_als"):
+            with tr.span("iter[0]"):
+                with tr.span("mode[1]"):
+                    pass
+                with tr.span("mode[2]"):
+                    pass
+        paths = [s.path for s in tr.spans()]
+        assert paths == [
+            "cp_als/iter[0]/mode[1]",
+            "cp_als/iter[0]/mode[2]",
+            "cp_als/iter[0]",
+            "cp_als",
+        ]
+
+    def test_stack_unwinds_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    raise RuntimeError("boom")
+        # Both spans completed despite the exception, and the stack is clean.
+        assert [s.name for s in tr.spans()] == ["inner", "outer"]
+        with tr.span("after"):
+            pass
+        assert tr.spans()[-1].path == "after"
+
+    def test_record_nests_under_current_span(self):
+        tr = Tracer()
+        with tr.span("kernel"):
+            tr.record("gemm", 1.0, 2.0)
+        gemm = next(s for s in tr.spans() if s.name == "gemm")
+        assert gemm.path == "kernel/gemm"
+        assert gemm.duration == pytest.approx(1.0)
+
+    def test_span_args_and_timing(self):
+        tr = Tracer()
+        with tr.span("mttkrp", mode=1, shape=[3, 4, 5]) as sp:
+            pass
+        assert sp.args == {"mode": 1, "shape": [3, 4, 5]}
+        assert sp.end is not None and sp.end >= sp.start
+
+
+class TestCounters:
+    def test_counters_accumulate_on_span(self):
+        tr = Tracer()
+        with tr.span("work") as sp:
+            sp.add("flops", 100)
+            sp.add("flops", 50)
+            tr.add_counter("gemm_calls", 2)
+        assert sp.counters["flops"] == 150.0
+        assert sp.counters["gemm_calls"] == 2.0
+
+    def test_add_counter_targets_innermost_span(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                tr.add_counter("flops", 7)
+        assert inner.counters == {"flops": 7.0}
+        assert outer.counters == {}
+
+    def test_orphan_counters_go_to_tracer(self):
+        tr = Tracer()
+        tr.add_counter("flops", 3)
+        tr.add_counter("flops", 4)
+        assert tr.counters["flops"] == 7.0
+
+
+class TestThreadSafety:
+    def test_per_thread_stacks_do_not_interleave(self):
+        tr = Tracer()
+        barrier = threading.Barrier(4)
+
+        def work(i):
+            barrier.wait()
+            with tr.span(f"outer[{i}]"):
+                with tr.span("inner"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        inners = [s for s in tr.spans() if s.name == "inner"]
+        assert len(inners) == 4
+        # Every inner span nests under its *own* thread's outer span.
+        assert sorted(s.path for s in inners) == [
+            f"outer[{i}]/inner" for i in range(4)
+        ]
+
+    def test_pool_region_records_workers_and_imbalance(self, live_tracer):
+        with ThreadPool(3) as pool:
+            with live_tracer.span("host"):
+                pool.parallel_for(
+                    lambda t, a, b: None, 30, label="unit.region"
+                )
+        spans = live_tracer.spans()
+        region = next(s for s in spans if s.name == "unit.region")
+        assert region.path == "host/unit.region"
+        assert region.counters["workers"] == 3.0
+        assert 1.0 <= region.counters["imbalance"] <= 3.0 + 1e-9
+        workers = [s for s in spans if s.name == "unit.region.worker"]
+        assert len(workers) == 3
+        # Worker spans land on the worker threads' own lanes.
+        assert all(s.tid != region.tid for s in workers)
+
+    def test_pool_region_with_error_still_records(self, live_tracer):
+        def explode(t, a, b):
+            raise ValueError("kaboom")
+
+        with ThreadPool(2) as pool:
+            with pytest.raises(Exception):
+                pool.parallel_for(explode, 2, label="err.region")
+        names = [s.name for s in live_tracer.spans()]
+        assert "err.region" in names
+
+
+class TestDisabledPath:
+    def test_default_tracer_is_null_singleton(self):
+        assert obs.disable() is None or True  # ensure known state
+        tr = get_tracer()
+        assert tr is NULL_TRACER
+        assert isinstance(tr, NullTracer)
+        assert not tr.enabled
+
+    def test_null_span_is_shared_instance(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+        assert NULL_TRACER.record("x", 0.0, 1.0) is NULL_TRACER.span("a")
+
+    def test_null_tracer_noops(self):
+        with NULL_TRACER.span("x") as sp:
+            sp.add("flops", 1)
+        NULL_TRACER.add_counter("flops", 1)
+        assert NULL_TRACER.spans() == []
+
+    def test_null_span_no_allocation_growth(self):
+        tr = NULL_TRACER
+        with tr.span("warmup"):
+            pass
+        gc.collect()
+        base = sys.getallocatedblocks()
+        for _ in range(2000):
+            with tr.span("hot"):
+                pass
+        gc.collect()
+        # The disabled path keeps no per-call state: allocated block count
+        # stays flat (small slack for interpreter noise).
+        assert sys.getallocatedblocks() - base < 50
+
+
+class TestEnableDisable:
+    def test_enable_disable_roundtrip(self):
+        tracer = obs.enable()
+        assert obs.is_enabled()
+        assert get_tracer() is tracer
+        assert obs.disable() is tracer
+        assert not obs.is_enabled()
+
+    def test_enable_installs_given_tracer(self):
+        mine = Tracer()
+        try:
+            assert obs.enable(mine) is mine
+            assert get_tracer() is mine
+        finally:
+            obs.disable()
+
+    def test_clear(self):
+        tr = Tracer()
+        with tr.span("x"):
+            pass
+        tr.add_counter("orphan", 1)
+        tr.clear()
+        assert tr.spans() == []
+        assert tr.counters == {}

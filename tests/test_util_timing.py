@@ -61,6 +61,44 @@ class TestPhaseTimer:
         # Sources are unchanged.
         assert t1.totals == {"a": 1.0}
 
+    def test_merged_variadic(self):
+        timers = []
+        for i in range(3):
+            t = PhaseTimer()
+            t.add("a", float(i + 1))
+            timers.append(t)
+        timers[2].add("c", 5.0)
+        m = timers[0].merged(timers[1], timers[2])
+        assert m.totals == {"a": 6.0, "c": 5.0}
+        assert m.counts == {"a": 3, "c": 1}
+        # No-arg merge is a copy.
+        solo = timers[0].merged()
+        assert solo.totals == {"a": 1.0}
+        assert solo is not timers[0]
+
+    def test_snapshot_is_independent_copy(self):
+        t = PhaseTimer()
+        t.add("a", 1.0)
+        snap = t.snapshot()
+        assert snap == {"a": 1.0}
+        t.add("a", 1.0)
+        assert snap == {"a": 1.0}  # unchanged by later updates
+        snap["b"] = 9.0
+        assert "b" not in t.totals  # and mutations don't leak back
+
+    def test_as_dict(self):
+        t = PhaseTimer()
+        t.add("a", 1.5)
+        t.add("a", 0.5)
+        t.add("b", 2.0)
+        d = t.as_dict()
+        assert d == {
+            "totals": {"a": 2.0, "b": 2.0},
+            "counts": {"a": 2, "b": 1},
+        }
+        d["totals"]["a"] = 0.0
+        assert t.totals["a"] == 2.0
+
     def test_exception_still_recorded(self):
         t = PhaseTimer()
         try:
