@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks.conftest import bench_threads, record_paper_context
+from benchmarks.conftest import bench_threads, cached_problem, record_paper_context
 from repro.parallel.pool import get_pool
 from repro.parallel.reduction import allocate_private, parallel_reduce
 
@@ -74,3 +74,86 @@ def test_schedule_on_imbalanced_work(benchmark, schedule):
                 work, n_items, schedule="dynamic", chunk=2
             )
         )
+
+
+# --------------------------------------------------------------------- #
+# Thread vs process backend
+# --------------------------------------------------------------------- #
+
+_BACKENDS = ("thread", "process")
+
+
+def _noop_kernel(worker, start, stop):
+    pass
+
+
+def _py_loop_kernel(worker, start, stop, mats, out):
+    # Deliberately Python-bound: per-row work too small for BLAS to
+    # dominate, so the GIL serializes it on the thread backend.
+    a, b = mats
+    for i in range(start, stop):
+        out[i] = a[i % a.shape[0]] @ b[i % b.shape[0]]
+
+
+@pytest.mark.parametrize("backend", _BACKENDS)
+def test_backend_region_overhead(benchmark, backend):
+    """Empty-region launch/join cost per backend (process pays pipe IPC)."""
+    from repro.parallel.backend import get_executor
+
+    T = max(_THREADS)
+    ex = get_executor(T, backend=backend)
+    record_paper_context(
+        benchmark, ablation="backend-overhead", kind="empty-region",
+        backend=backend, threads=T,
+    )
+    benchmark(ex.parallel_for, _noop_kernel, T)
+
+
+@pytest.mark.parametrize("backend", _BACKENDS)
+def test_backend_python_bound_loop(benchmark, backend):
+    """GIL-bound Python loop: the case the process backend exists for."""
+    from repro.parallel.backend import get_executor
+
+    T = max(_THREADS)
+    ex = get_executor(T, backend=backend)
+    rng = np.random.default_rng(0)
+    mats = (rng.standard_normal((64, 48)), rng.standard_normal((64, 48)))
+    out = ex.allocate_shared((512,))
+    record_paper_context(
+        benchmark, ablation="backend-python-loop", backend=backend, threads=T,
+    )
+    benchmark(
+        lambda: ex.parallel_for(_py_loop_kernel, 512, args=(mats, out))
+    )
+
+
+@pytest.mark.parametrize("backend", _BACKENDS)
+def test_backend_krp_with_reuse(benchmark, backend):
+    """Row-wise KRP with reuse (Alg. 1) through each backend."""
+    from repro.core.krp_parallel import khatri_rao_parallel
+    from repro.parallel.backend import get_executor
+
+    T = max(_THREADS)
+    ex = get_executor(T, backend=backend)
+    rng = np.random.default_rng(1)
+    mats = [rng.standard_normal((48, 16)) for _ in range(3)]
+    record_paper_context(
+        benchmark, ablation="backend-krp", backend=backend, threads=T,
+    )
+    benchmark(lambda: khatri_rao_parallel(mats, executor=ex))
+
+
+@pytest.mark.parametrize("backend", _BACKENDS)
+def test_backend_mttkrp_onestep(benchmark, backend):
+    """Full GEMM-phase MTTKRP per backend (parity target: same BLAS)."""
+    from repro.core.dispatch import mttkrp
+
+    T = max(_THREADS)
+    X, U = cached_problem((48, 32, 24), 16)
+    record_paper_context(
+        benchmark, ablation="backend-mttkrp", backend=backend, threads=T,
+        method="onestep",
+    )
+    benchmark(
+        lambda: mttkrp(X, U, 1, method="onestep", num_threads=T, backend=backend)
+    )

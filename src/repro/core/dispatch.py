@@ -8,7 +8,9 @@ external modes anyway).
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -17,7 +19,7 @@ from repro.core.mttkrp_baseline import mttkrp_baseline
 from repro.core.mttkrp_onestep import mttkrp_onestep, mttkrp_onestep_sequential
 from repro.core.mttkrp_twostep import mttkrp_twostep
 from repro.obs import get_tracer
-from repro.parallel.config import resolve_threads
+from repro.parallel.config import resolve_threads, use_backend
 from repro.tensor.dense import DenseTensor
 from repro.util.timing import PhaseTimer
 from repro.util.validation import check_mode
@@ -34,6 +36,7 @@ def mttkrp(
     method: str = "auto",
     num_threads: int | None = None,
     timers: PhaseTimer | None = None,
+    backend: str | None = None,
     **kwargs,
 ) -> np.ndarray:
     """Matricized-tensor times Khatri-Rao product for mode ``n``.
@@ -62,6 +65,10 @@ def mttkrp(
         Thread count; defaults to the package-wide setting.
     timers:
         Optional :class:`~repro.util.timing.PhaseTimer` for breakdowns.
+    backend:
+        Execution backend for the parallel regions, ``"thread"`` or
+        ``"process"`` (see :mod:`repro.parallel.backend`); defaults to the
+        package-wide setting (``set_backend()`` / ``REPRO_BACKEND``).
     **kwargs:
         Forwarded to the selected implementation (e.g. ``side=`` for
         ``"twostep"``).
@@ -84,26 +91,37 @@ def mttkrp(
         # The paper: "for external modes, the 2-step algorithm degenerates
         # to the 1-step algorithm."
         method = "onestep"
-        kwargs = {}
+        if kwargs:
+            warnings.warn(
+                f"mttkrp(method='twostep') degenerates to the 1-step "
+                f"algorithm for external mode {n}; ignoring keyword "
+                f"arguments {sorted(kwargs)} that the 1-step "
+                f"implementation does not accept",
+                UserWarning,
+                stacklevel=2,
+            )
+            kwargs = {}
     if method not in MTTKRP_METHODS:
         raise ValueError(
             f"unknown method {method!r}; expected one of {MTTKRP_METHODS}"
         )
 
     tracer = get_tracer()
-    if not tracer.enabled:
-        return _run(tensor, factors, n, method, num_threads, timers, kwargs)
-    with tracer.span(
-        f"mttkrp.{method}", mode=n, shape=list(tensor.shape)
-    ) as span:
-        out = _run(tensor, factors, n, method, num_threads, timers, kwargs)
-        rank = int(out.shape[1])
-        span.args["rank"] = rank
-        _attach_cost(
-            span, tensor.shape, n, rank, method,
-            1 if seq_variant else resolve_threads(num_threads),
-        )
-        return out
+    backend_scope = use_backend(backend) if backend is not None else nullcontext()
+    with backend_scope:
+        if not tracer.enabled:
+            return _run(tensor, factors, n, method, num_threads, timers, kwargs)
+        with tracer.span(
+            f"mttkrp.{method}", mode=n, shape=list(tensor.shape)
+        ) as span:
+            out = _run(tensor, factors, n, method, num_threads, timers, kwargs)
+            rank = int(out.shape[1])
+            span.args["rank"] = rank
+            _attach_cost(
+                span, tensor.shape, n, rank, method,
+                1 if seq_variant else resolve_threads(num_threads),
+            )
+            return out
 
 
 def _run(tensor, factors, n, method, num_threads, timers, kwargs):

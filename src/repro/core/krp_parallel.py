@@ -8,7 +8,10 @@ assigned row — which is precisely what :func:`repro.core.krp.krp_rows` does
 for an arbitrary row range.
 
 The output rows live in a single shared matrix; because the blocks are
-disjoint there are no write conflicts and no reduction is needed.
+disjoint there are no write conflicts and no reduction is needed.  Under the
+process backend (:mod:`repro.parallel.backend`) the shared matrix is a
+shared-memory segment, so the row-wise Python loop — the part the GIL
+serializes on the thread backend — runs genuinely parallel.
 """
 
 from __future__ import annotations
@@ -19,12 +22,23 @@ import numpy as np
 
 from repro.core.krp import krp_rows, krp_rows_naive
 from repro.obs import get_tracer
+from repro.parallel.backend import Executor, get_executor
 from repro.parallel.config import resolve_threads
-from repro.parallel.pool import get_pool
 from repro.util import prod
 from repro.util.validation import check_same_columns
 
 __all__ = ["khatri_rao_parallel"]
+
+
+def _k_krp_rows(worker, start, stop, mats, out, naive) -> None:
+    """Region kernel: rows ``[start, stop)`` of the KRP into shared ``out``.
+
+    Each worker writes only its disjoint row block; ``krp_rows`` re-derives
+    the multi-index state from ``start``, so results are independent of the
+    partition (and hence of the backend).
+    """
+    kernel = krp_rows_naive if naive else krp_rows
+    kernel(mats, start, stop, out=out[start:stop])
 
 
 def khatri_rao_parallel(
@@ -32,8 +46,9 @@ def khatri_rao_parallel(
     num_threads: int | None = None,
     out: np.ndarray | None = None,
     schedule: str = "reuse",
+    executor: Executor | None = None,
 ) -> np.ndarray:
-    """Khatri-Rao product computed by a team of threads over row blocks.
+    """Khatri-Rao product computed by a team of workers over row blocks.
 
     Parameters
     ----------
@@ -41,13 +56,18 @@ def khatri_rao_parallel(
         KRP inputs (first matrix's row index slowest, as in
         :func:`repro.core.krp.khatri_rao`).
     num_threads:
-        Thread count; defaults to the package-wide setting
+        Worker count; defaults to the package-wide setting
         (:func:`repro.parallel.config.get_num_threads`).
     out:
-        Optional preallocated ``(prod J_z, C)`` row-major output.
+        Optional preallocated ``(prod J_z, C)`` row-major output.  Under the
+        process backend, an ``out`` the workers cannot address directly is
+        filled through one extra copy from a shared staging buffer.
     schedule:
         ``"reuse"`` (Algorithm 1) or ``"naive"`` (the Figure 4 baseline);
         both are parallelized identically.
+    executor:
+        Explicit executor to run on; defaults to the shared executor for
+        the configured backend (:func:`repro.parallel.backend.get_executor`).
 
     Returns
     -------
@@ -59,27 +79,31 @@ def khatri_rao_parallel(
     rows = prod(m.shape[0] for m in mats)
     T = resolve_threads(num_threads)
     if schedule == "reuse":
-        kernel = krp_rows
+        naive = False
     elif schedule == "naive":
-        kernel = krp_rows_naive
+        naive = True
     else:
         raise ValueError(f"unknown schedule {schedule!r}")
-    if out is None:
-        out = np.empty((rows, C), dtype=np.result_type(*mats))
-    elif out.shape != (rows, C):
+    dtype = np.result_type(*mats)
+    if out is not None and out.shape != (rows, C):
         raise ValueError(f"out has shape {out.shape}, expected {(rows, C)}")
 
     tracer = get_tracer()
     with tracer.span("krp.parallel", rows=rows, C=C, schedule=schedule):
-        if T == 1:
+        if T == 1 and executor is None:
+            if out is None:
+                out = np.empty((rows, C), dtype=dtype)
+            kernel = krp_rows_naive if naive else krp_rows
             return kernel(mats, 0, rows, out=out)
 
-        pool = get_pool(T)
-
-        def work(t: int, start: int, stop: int) -> None:
-            # Each thread writes only its disjoint row block of the shared
-            # output; krp_rows re-derives the multi-index state from `start`.
-            kernel(mats, start, stop, out=out[start:stop])
-
-        pool.parallel_for(work, rows, label="krp.rows")
-        return out
+        ex = executor if executor is not None else get_executor(T)
+        target = out
+        if target is None or not ex.owns_shared(target):
+            target = ex.allocate_shared((rows, C), dtype)
+        ex.parallel_for(
+            _k_krp_rows, rows, args=(mats, target, naive), label="krp.rows"
+        )
+        if out is not None and target is not out:
+            np.copyto(out, target)
+            return out
+        return target

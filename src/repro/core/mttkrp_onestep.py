@@ -39,10 +39,8 @@ import numpy as np
 from repro.core.krp import khatri_rao, krp_rows
 from repro.core.krp_parallel import khatri_rao_parallel
 from repro.obs import get_tracer
+from repro.parallel.backend import get_executor
 from repro.parallel.config import resolve_threads
-from repro.parallel.partition import contiguous_blocks
-from repro.parallel.pool import get_pool
-from repro.parallel.reduction import allocate_private, parallel_reduce
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import mode_products
 from repro.util.timing import NULL_TIMER, PhaseTimer, wall_time as _clock
@@ -166,6 +164,41 @@ def mttkrp_onestep(
     return _onestep_internal(tensor, factors, n, rank, T, t)
 
 
+def _k_external(
+    worker: int,
+    start: int,
+    stop: int,
+    tensor: DenseTensor,
+    n: int,
+    operands: list[np.ndarray],
+    out: np.ndarray,
+    krp_seconds: np.ndarray,
+    gemm_seconds: np.ndarray,
+) -> None:
+    """Region kernel for Alg. 3 lines 2-9: one worker's column block.
+
+    Worker-private: rows ``[start, stop)`` of the KRP (Alg. 1 variant
+    starting mid-stream) and the private output slab ``out[worker]``.
+    Module-level (not a closure) so the process backend can ship it by
+    reference; the matricization view is rebuilt inside the worker, which
+    under shared memory has the exact strides of the parent's view.
+    """
+    # X_(0) is the column-major unfold; X_(N-1) the row-major one.  Either
+    # way a contiguous *column* slice is directly GEMM-able.
+    Xn = tensor.unfold_mode0() if n == 0 else tensor.unfold_last()
+    t0 = _clock()
+    Kt = krp_rows(operands, start, stop)
+    t1 = _clock()
+    np.matmul(Xn[:, start:stop], Kt, out=out[worker])
+    t2 = _clock()
+    krp_seconds[worker] = t1 - t0
+    gemm_seconds[worker] = t2 - t1
+    tr = get_tracer()
+    if tr.enabled:
+        tr.record("full_krp", t0, t1, worker=worker)
+        tr.record("gemm", t1, t2, worker=worker)
+
+
 def _onestep_external(
     tensor: DenseTensor,
     factors: Sequence[np.ndarray],
@@ -178,47 +211,33 @@ def _onestep_external(
     p = mode_products(tensor.shape, n)
     operands = krp_operands(factors, n)
     tr = get_tracer()
-    # X_(0) is the column-major unfold; X_(N-1) the row-major one.  Either
-    # way a contiguous *column* slice is directly GEMM-able.
-    Xn = tensor.unfold_mode0() if n == 0 else tensor.unfold_last()
-    blocks = contiguous_blocks(p.other, T)
 
     if T == 1:
+        Xn = tensor.unfold_mode0() if n == 0 else tensor.unfold_last()
         with t.phase("full_krp"), tr.span("full_krp"):
             K = krp_rows(operands, 0, p.other)
         with t.phase("gemm"), tr.span("gemm"):
             tr.add_counter("gemm_calls", 1)
             return Xn @ K
 
-    out = allocate_private(T, (p.size, rank), dtype=tensor.dtype)
-    pool = get_pool(T)
+    ex = get_executor(T)
+    out = ex.allocate_private(T, (p.size, rank), dtype=tensor.dtype)
     # Per-worker phase clocks: the wall-clock contribution of a phase inside
-    # a parallel region is its maximum across threads (the paper instruments
+    # a parallel region is its maximum across workers (the paper instruments
     # its OpenMP regions the same way for Figure 6).
-    krp_time = np.zeros(T)
-    gemm_time = np.zeros(T)
-
-    def work(worker: int, lo: int, hi: int) -> None:
-        start, stop = blocks[worker]
-        # Thread-private: rows [start, stop) of the KRP (Alg. 1 variant
-        # starting mid-stream) and a private output slab.
-        t0 = _clock()
-        Kt = krp_rows(operands, start, stop)
-        t1 = _clock()
-        np.matmul(Xn[:, start:stop], Kt, out=out[worker])
-        t2 = _clock()
-        krp_time[worker] = t1 - t0
-        gemm_time[worker] = t2 - t1
-        if tr.enabled:
-            tr.record("full_krp", t0, t1, worker=worker)
-            tr.record("gemm", t1, t2, worker=worker)
-
-    pool.parallel_for(work, T, label="mttkrp.onestep.external")
-    t.add("full_krp", float(krp_time.max()))
-    t.add("gemm", float(gemm_time.max()))
+    krp_seconds = ex.allocate_shared((T,))
+    gemm_seconds = ex.allocate_shared((T,))
+    ex.parallel_for(
+        _k_external,
+        p.other,
+        args=(tensor, n, operands, out, krp_seconds, gemm_seconds),
+        label="mttkrp.onestep.external",
+    )
+    t.add("full_krp", float(krp_seconds.max()))
+    t.add("gemm", float(gemm_seconds.max()))
     tr.add_counter("gemm_calls", T)
     with t.phase("reduce"), tr.span("reduce"):
-        return parallel_reduce(out, pool).copy()
+        return ex.reduce(out, label="mttkrp.reduce").copy()
 
 
 def _internal_chunk(block_cols: int, rank: int, total_blocks: int) -> int:
@@ -279,6 +298,33 @@ def _internal_range(
     return tk, tg, calls
 
 
+def _k_internal(
+    worker: int,
+    jstart: int,
+    jstop: int,
+    tensor: DenseTensor,
+    n: int,
+    right_ops: list[np.ndarray],
+    KL: np.ndarray,
+    out: np.ndarray,
+    krp_seconds: np.ndarray,
+    gemm_seconds: np.ndarray,
+    gemm_calls: np.ndarray,
+) -> None:
+    """Region kernel for Alg. 3 lines 10-17: one worker's block range.
+
+    Module-level for the process backend; the 3-D block view of the
+    matricization is rebuilt in the worker over the shared tensor buffer.
+    """
+    blocks3 = tensor.mode_blocks_view(n)  # (IRn, In, ILn)
+    krp_seconds[worker], gemm_seconds[worker], gemm_calls[worker] = (
+        _internal_range(
+            blocks3, right_ops, KL, out[worker], jstart, jstop,
+            tracer=get_tracer(),
+        )
+    )
+
+
 def _onestep_internal(
     tensor: DenseTensor,
     factors: Sequence[np.ndarray],
@@ -290,39 +336,43 @@ def _onestep_internal(
     """Internal modes: parallelize over matricization blocks (Alg. 3 l.10-17)."""
     p = mode_products(tensor.shape, n)
     tr = get_tracer()
-    with t.phase("lr_krp"), tr.span("lr_krp"):
-        # Left partial KRP K_L = U_{n-1} krp ... krp U_0, formed in parallel.
-        left_ops = [np.asarray(factors[k]) for k in range(n - 1, -1, -1)]
-        KL = khatri_rao_parallel(left_ops, num_threads=T)
     right_ops = [np.asarray(factors[k]) for k in range(tensor.ndim - 1, n, -1)]
-    blocks3 = tensor.mode_blocks_view(n)  # (IRn, In, ILn)
+    left_ops = [np.asarray(factors[k]) for k in range(n - 1, -1, -1)]
 
     if T == 1:
+        with t.phase("lr_krp"), tr.span("lr_krp"):
+            KL = khatri_rao_parallel(left_ops, num_threads=T)
         M = np.zeros((p.size, rank), dtype=tensor.dtype)
         tk, tg, calls = _internal_range(
-            blocks3, right_ops, KL, M, 0, p.right, tracer=tr
+            tensor.mode_blocks_view(n), right_ops, KL, M, 0, p.right, tracer=tr
         )
         t.add("lr_krp", tk)
         t.add("gemm", tg)
         tr.add_counter("gemm_calls", calls)
         return M
 
-    out = allocate_private(T, (p.size, rank), dtype=tensor.dtype)
-    pool = get_pool(T)
-    krp_time = np.zeros(T)
-    gemm_time = np.zeros(T)
-    gemm_calls = np.zeros(T, dtype=np.int64)
+    ex = get_executor(T)
+    with t.phase("lr_krp"), tr.span("lr_krp"):
+        # Left partial KRP K_L = U_{n-1} krp ... krp U_0, formed in parallel
+        # on the same executor (under the process backend it lands directly
+        # in a shared segment, so the region below attaches it zero-copy).
+        KL = khatri_rao_parallel(left_ops, num_threads=T, executor=ex)
 
-    def work(worker: int, jstart: int, jstop: int) -> None:
-        krp_time[worker], gemm_time[worker], gemm_calls[worker] = (
-            _internal_range(
-                blocks3, right_ops, KL, out[worker], jstart, jstop, tracer=tr
-            )
-        )
-
-    pool.parallel_for(work, p.right, label="mttkrp.onestep.internal")
-    t.add("lr_krp", float(krp_time.max()))
-    t.add("gemm", float(gemm_time.max()))
+    out = ex.allocate_private(T, (p.size, rank), dtype=tensor.dtype)
+    krp_seconds = ex.allocate_shared((T,))
+    gemm_seconds = ex.allocate_shared((T,))
+    gemm_calls = ex.allocate_shared((T,), dtype=np.int64)
+    ex.parallel_for(
+        _k_internal,
+        p.right,
+        args=(
+            tensor, n, right_ops, KL, out,
+            krp_seconds, gemm_seconds, gemm_calls,
+        ),
+        label="mttkrp.onestep.internal",
+    )
+    t.add("lr_krp", float(krp_seconds.max()))
+    t.add("gemm", float(gemm_seconds.max()))
     tr.add_counter("gemm_calls", int(gemm_calls.sum()))
     with t.phase("reduce"), tr.span("reduce"):
-        return parallel_reduce(out, pool).copy()
+        return ex.reduce(out, label="mttkrp.reduce").copy()

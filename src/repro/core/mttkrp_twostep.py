@@ -38,8 +38,9 @@ import numpy as np
 
 from repro.core.krp import khatri_rao
 from repro.obs import get_tracer
+from repro.parallel.backend import get_executor
 from repro.parallel.blas import blas_threads
-from repro.parallel.config import resolve_threads
+from repro.parallel.config import get_backend, resolve_threads
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import mode_products
 from repro.tensor.ttv import multi_ttv
@@ -121,8 +122,29 @@ def mttkrp_twostep(
     if side == "auto":
         side = choose_side(tensor.shape, n)
 
+    # Under the process backend the multi-TTV's Python-level column loop is
+    # fanned over worker processes; step 1's GEMM output is then computed
+    # straight into a shared-memory buffer so the workers attach it
+    # zero-copy.  Otherwise (thread backend, or one worker) everything runs
+    # as in the sequential algorithm — step 1 is a single BLAS call either
+    # way, so the two backends issue identical GEMMs.
+    ex = (
+        get_executor(T, backend="process")
+        if T > 1 and get_backend() == "process"
+        else None
+    )
+    C = KL.shape[1]
+    res_dtype = np.result_type(tensor.dtype, KL.dtype)
+
+    def _intermediate_buffer(entries: int) -> np.ndarray | None:
+        if ex is None:
+            return None
+        return ex.allocate_shared((entries,), dtype=res_dtype)
+
     with blas_threads(T):
         if side == "left":
+            cols = tensor.size // int(np.prod(tensor.shape[:n]))
+            buf = _intermediate_buffer(C * cols)
             # Step 1 (Fig. 3c): L = X_(0:n-1)^T . K_L; the transpose view is
             # row-major, so this is a single well-shaped GEMM.
             with t.phase("gemm"), tr.span("gemm", side="left"):
@@ -130,38 +152,52 @@ def mttkrp_twostep(
                 # C-contiguous GEMM output *is* the natural layout of L —
                 # same BLAS call, no data movement afterwards.
                 tr.add_counter("gemm_calls", 1)
-                LmatT = KL.T @ tensor.unfold_front(n - 1)
+                if buf is None:
+                    LmatT = KL.T @ tensor.unfold_front(n - 1)
+                    flat = LmatT.ravel()
+                else:
+                    np.matmul(
+                        KL.T, tensor.unfold_front(n - 1),
+                        out=buf.reshape((C, cols)),
+                    )
+                    flat = buf
             # L is the (I_n x I_{n+1} x ... x I_{N-1} x C) intermediate in
             # natural layout (rows of L linearize modes n.., mode n fastest),
             # reinterpreted for free.
-            L = DenseTensor(
-                LmatT.ravel(), tensor.shape[n:] + (KL.shape[1],)
-            )
+            L = DenseTensor(flat, tensor.shape[n:] + (C,))
             with t.phase("gemv"), tr.span("gemv", side="left"):
                 # Step 2 (Fig. 3d): contract trailing modes against K_R's
                 # columns, one GEMV per rank column.
-                tr.add_counter("gemv_calls", KL.shape[1])
+                tr.add_counter("gemv_calls", C)
                 return multi_ttv(
                     L, [np.asarray(factors[k]) for k in range(n + 1, N)],
-                    leading=True,
+                    leading=True, executor=ex,
                 )
         else:
+            cols = int(np.prod(tensor.shape[: n + 1]))
+            buf = _intermediate_buffer(C * cols)
             # Step 1 (Fig. 3a): R = X_(0:n) . K_R on the column-major view.
             with t.phase("gemm"), tr.span("gemm", side="right"):
                 # Transposed form (R^T = K_R^T . X_(0:n)^T) for the same
                 # reason: the GEMM writes R directly in natural layout.
                 tr.add_counter("gemm_calls", 1)
-                RmatT = KR.T @ tensor.unfold_front(n).T
-            R = DenseTensor(
-                RmatT.ravel(), tensor.shape[: n + 1] + (KR.shape[1],)
-            )
+                if buf is None:
+                    RmatT = KR.T @ tensor.unfold_front(n).T
+                    flat = RmatT.ravel()
+                else:
+                    np.matmul(
+                        KR.T, tensor.unfold_front(n).T,
+                        out=buf.reshape((C, cols)),
+                    )
+                    flat = buf
+            R = DenseTensor(flat, tensor.shape[: n + 1] + (C,))
             with t.phase("gemv"), tr.span("gemv", side="right"):
                 # Step 2 (Fig. 3b): contract leading modes against K_L's
                 # columns.
-                tr.add_counter("gemv_calls", KR.shape[1])
+                tr.add_counter("gemv_calls", C)
                 return multi_ttv(
                     R, [np.asarray(factors[k]) for k in range(n)],
-                    leading=False,
+                    leading=False, executor=ex,
                 )
 
 

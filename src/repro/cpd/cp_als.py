@@ -19,6 +19,7 @@ checking adds no extra pass over the tensor.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,6 +29,7 @@ from repro.cpd.gram import GramCache
 from repro.obs import get_tracer
 from repro.cpd.init import initialize_factors
 from repro.cpd.kruskal import KruskalTensor
+from repro.parallel.config import use_backend
 from repro.tensor.dense import DenseTensor
 from repro.util.timing import PhaseTimer, wall_time
 
@@ -91,6 +93,7 @@ def cp_als(
     method: str = "auto",
     mode_strategy: str = "per-mode",
     num_threads: int | None = None,
+    backend: str | None = None,
     rng: np.random.Generator | int | None = None,
     verbose: bool = False,
 ) -> CPALSResult:
@@ -125,6 +128,11 @@ def cp_als(
         iterates.
     num_threads:
         Thread count for the MTTKRP kernels.
+    backend:
+        Execution backend for the parallel regions, ``"thread"`` or
+        ``"process"`` (see :mod:`repro.parallel.backend`); defaults to the
+        package-wide setting (``set_backend()`` / ``REPRO_BACKEND``).  The
+        iterates are bit-identical across backends.
     rng:
         Seed/generator for random initialization.
     verbose:
@@ -200,7 +208,8 @@ def cp_als(
             factors[n] /= weights
         grams.update(n)
 
-    with tracer.span(
+    backend_scope = use_backend(backend) if backend is not None else nullcontext()
+    with backend_scope, tracer.span(
         "cp_als",
         rank=rank,
         shape=list(tensor.shape),

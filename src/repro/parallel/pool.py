@@ -35,12 +35,25 @@ __all__ = ["ThreadPool", "get_pool", "shutdown_all_pools"]
 
 
 class WorkerError(RuntimeError):
-    """An exception raised by a pool worker, annotated with its index."""
+    """An exception raised by a pool worker, annotated with its index.
+
+    Attributes
+    ----------
+    worker:
+        Index of the worker that raised.
+    original:
+        The exception the worker raised.  It is also installed as this
+        error's ``__cause__`` (so tracebacks show the worker-side frames).
+    others:
+        :class:`WorkerError` instances from any *other* workers that failed
+        in the same region — a multi-worker failure loses no information.
+    """
 
     def __init__(self, worker: int, original: BaseException) -> None:
         super().__init__(f"worker {worker} raised {original!r}")
         self.worker = worker
         self.original = original
+        self.others: tuple["WorkerError", ...] = ()
 
 
 class ThreadPool:
@@ -63,11 +76,16 @@ class ThreadPool:
         self._lock = threading.Lock()
         self._work_cv = threading.Condition(self._lock)
         self._done_cv = threading.Condition(self._lock)
+        # Serializes whole region launches: two caller threads sharing one
+        # pool take turns instead of corrupting _tasks/_pending/_generation.
+        self._region_lock = threading.Lock()
+        self._worker_idents: frozenset[int] = frozenset()
         self._tasks: Sequence[Callable[[], None]] | None = None
         self._generation = 0
         self._pending = 0
         self._errors: list[WorkerError] = []
         self._shutdown = False
+        self._shared = False  # True for pools owned by the get_pool cache
         self._threads: list[threading.Thread] = []
         if num_threads > 1:
             for t in range(num_threads):
@@ -79,6 +97,12 @@ class ThreadPool:
                 )
                 th.start()
                 self._threads.append(th)
+            # Frozen after startup: membership tests need no locking.  Set
+            # before any region can run, so a worker that launches a nested
+            # region is always recognized.
+            self._worker_idents = frozenset(
+                th.ident for th in self._threads if th.ident is not None
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -166,19 +190,38 @@ class ThreadPool:
             if tasks[0] is not None:
                 tasks[0]()
             return
-        with self._work_cv:
-            self._tasks = tasks
-            self._errors = []
-            self._pending = self.num_threads
-            self._generation += 1
-            self._work_cv.notify_all()
-        with self._done_cv:
-            while self._pending > 0:
-                self._done_cv.wait()
-            errors = self._errors
-            self._tasks = None
+        if threading.get_ident() in self._worker_idents:
+            # A worker of *this* pool launching a region on it would wait
+            # forever for itself; fail fast instead (nested parallelism
+            # needs a different pool, as with OpenMP nested teams).
+            raise RuntimeError(
+                "nested parallel region: a worker of this pool cannot "
+                "launch a region on its own pool; use a separate pool "
+                "(or backend) for nested parallelism"
+            )
+        # The region lock serializes concurrent launches from independent
+        # caller threads — without it they interleave on _tasks/_pending/
+        # _generation and both regions misbehave.
+        with self._region_lock:
+            with self._work_cv:
+                if self._shutdown:
+                    raise RuntimeError("pool has been shut down")
+                self._tasks = tasks
+                self._errors = []
+                self._pending = self.num_threads
+                self._generation += 1
+                self._work_cv.notify_all()
+            with self._done_cv:
+                while self._pending > 0:
+                    self._done_cv.wait()
+                errors = self._errors
+                self._tasks = None
         if errors:
-            raise errors[0]
+            errors.sort(key=lambda e: e.worker)
+            err = errors[0]
+            err.others = tuple(errors[1:])
+            # Chain so the worker-side traceback survives re-raising here.
+            raise err from err.original
 
     def parallel_for(
         self,
@@ -256,7 +299,14 @@ class ThreadPool:
         )
 
     def shutdown(self) -> None:
-        """Terminate worker threads.  The pool cannot be used afterwards."""
+        """Terminate worker threads.  The pool cannot be used afterwards.
+
+        A shut-down pool is also evicted from the :func:`get_pool` cache
+        (deterministically, for every thread count including 1), so the
+        next :func:`get_pool` call builds a fresh pool rather than finding
+        a dead one.
+        """
+        _evict_cached_pool(self)
         if self.num_threads == 1:
             self._shutdown = True
             return
@@ -272,7 +322,12 @@ class ThreadPool:
         return self
 
     def __exit__(self, *exc) -> None:
-        self.shutdown()
+        # Shared pools (handed out by get_pool) are owned by the cache, not
+        # by any one `with` block: exiting the block must not tear down a
+        # pool other callers may hold.  Call shutdown() explicitly to
+        # retire a shared pool (which also evicts it from the cache).
+        if not self._shared:
+            self.shutdown()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ThreadPool(num_threads={self.num_threads})"
@@ -282,12 +337,26 @@ _pool_cache: dict[int, ThreadPool] = {}
 _pool_cache_lock = threading.Lock()
 
 
+def _evict_cached_pool(pool: ThreadPool) -> None:
+    """Drop ``pool`` from the cache if it is the cached entry for its size."""
+    with _pool_cache_lock:
+        if _pool_cache.get(pool.num_threads) is pool:
+            del _pool_cache[pool.num_threads]
+
+
 def get_pool(num_threads: int) -> ThreadPool:
     """Return a shared persistent pool with ``num_threads`` workers.
 
     Pools are cached per thread count (mirroring an OpenMP runtime that
     keeps its thread team alive between parallel regions), so benchmark
     loops do not pay thread-creation costs per call.
+
+    Ownership: the returned pool belongs to the cache.  Using it as a
+    context manager is allowed (``with get_pool(4) as pool: ...``) but the
+    ``with`` block does **not** shut the pool down on exit — otherwise one
+    caller's block would silently retire the pool for every later caller.
+    Call :meth:`ThreadPool.shutdown` (or :func:`shutdown_all_pools`) to
+    retire it explicitly; that also evicts it from the cache.
     """
     num_threads = int(num_threads)
     if num_threads <= 0:
@@ -296,6 +365,7 @@ def get_pool(num_threads: int) -> ThreadPool:
         pool = _pool_cache.get(num_threads)
         if pool is None or pool._shutdown:
             pool = ThreadPool(num_threads)
+            pool._shared = True
             _pool_cache[num_threads] = pool
         return pool
 
@@ -303,6 +373,7 @@ def get_pool(num_threads: int) -> ThreadPool:
 def shutdown_all_pools() -> None:
     """Shut down and drop every cached pool (used by tests)."""
     with _pool_cache_lock:
-        for pool in _pool_cache.values():
-            pool.shutdown()
+        pools = list(_pool_cache.values())
         _pool_cache.clear()
+    for pool in pools:
+        pool.shutdown()

@@ -47,14 +47,22 @@ def parallel_reduce(
         place**: on return ``buffers[0]`` holds the total (and is also the
         returned array); other slots hold partial sums.
     pool:
-        Pool to parallelize the tree levels on.  ``None`` (or a single
-        buffer) reduces sequentially.
+        Pool to parallelize the tree levels on, or an
+        :class:`~repro.parallel.backend.Executor` (the reduction then runs
+        on that backend via :meth:`~repro.parallel.backend.Executor.reduce`,
+        with the identical tree pairing).  ``None`` (or a single buffer)
+        reduces sequentially.
 
     Returns
     -------
     numpy.ndarray
         ``buffers[0]``, now containing the sum over all buffers.
     """
+    # Local import: backend builds on this module, not the other way round.
+    from repro.parallel.backend import Executor
+
+    if isinstance(pool, Executor):
+        return pool.reduce(buffers)
     buffers = np.asarray(buffers)
     if buffers.ndim < 1 or buffers.shape[0] == 0:
         raise ValueError("buffers must have a leading thread axis of size >= 1")

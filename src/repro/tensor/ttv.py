@@ -80,10 +80,42 @@ def ttv_chain(
     return result
 
 
+def _k_multi_ttv(
+    worker: int,
+    jstart: int,
+    jstop: int,
+    intermediate: DenseTensor,
+    factors: list[np.ndarray],
+    leading: bool,
+    out: np.ndarray,
+) -> None:
+    """Region kernel: columns ``[jstart, jstop)`` of the multi-TTV output.
+
+    Column ``j`` touches only subtensor ``j`` of the intermediate and
+    writes only ``out[:, j]``, so workers are conflict-free.  Module-level
+    (picklable) for the process backend; the matricization views rebuilt
+    here have the parent's exact strides, so per-column arithmetic — and
+    hence the result — is identical on every backend.
+    """
+    inner_shape = intermediate.shape[:-1]
+    flat = intermediate.unfold_front(intermediate.ndim - 2)
+    if leading:
+        out_dim, ncols = inner_shape[0], prod(inner_shape[1:])
+        for j in range(jstart, jstop):
+            sub = flat[:, j].reshape((out_dim, ncols), order="F")
+            out[:, j] = sub @ _krp_column(factors, j)
+    else:
+        out_dim, nrows = inner_shape[-1], prod(inner_shape[:-1])
+        for j in range(jstart, jstop):
+            sub = flat[:, j].reshape((nrows, out_dim), order="F")
+            out[:, j] = _krp_column(factors, j) @ sub
+
+
 def multi_ttv(
     intermediate: DenseTensor,
     factors: Sequence[np.ndarray],
     leading: bool,
+    executor=None,
 ) -> np.ndarray:
     """The 2nd step of 2-step MTTKRP: C independent TTV chains as GEMVs.
 
@@ -103,6 +135,12 @@ def multi_ttv(
         ``intermediate`` (left-first ordering, Figure 3d: contract trailing
         modes); ``False`` when it is the last tensor mode before the rank
         mode (right-first ordering, Figure 3b: contract leading modes).
+    executor:
+        Optional :class:`~repro.parallel.backend.Executor`.  On a process
+        executor with more than one worker the column loop — a Python-level
+        loop of small GEMVs that the GIL serializes under threads — is
+        distributed over the worker team (disjoint output columns, no
+        reduction).  Otherwise the loop runs inline as before.
 
     Returns
     -------
@@ -118,8 +156,8 @@ def multi_ttv(
     GEMV on a zero-copy view, exactly as in the paper.
     """
     C = intermediate.shape[-1]
-    for f in factors:
-        f = np.asarray(f)
+    facs = [np.asarray(f) for f in factors]
+    for f in facs:
         if f.ndim != 2 or f.shape[1] != C:
             raise ValueError(
                 f"every factor must be 2-D with {C} columns, got {f.shape}"
@@ -131,29 +169,28 @@ def multi_ttv(
     else:
         out_dim = inner_shape[-1]
         contract_dims = inner_shape[:-1]
-    if tuple(f.shape[0] for f in factors) != tuple(contract_dims):
+    if tuple(f.shape[0] for f in facs) != tuple(contract_dims):
         raise ValueError(
-            f"factor row counts {tuple(np.asarray(f).shape[0] for f in factors)} "
+            f"factor row counts {tuple(f.shape[0] for f in facs)} "
             f"do not match contracted dims {tuple(contract_dims)}"
         )
 
+    if (
+        executor is not None
+        and executor.backend == "process"
+        and executor.num_workers > 1
+    ):
+        out = executor.allocate_shared((out_dim, C), dtype=intermediate.dtype)
+        executor.parallel_for(
+            _k_multi_ttv,
+            C,
+            args=(intermediate, facs, leading, out),
+            label="multi_ttv.columns",
+        )
+        return out
+
     out = np.empty((out_dim, C), dtype=intermediate.dtype)
-    # View the intermediate as (inner, C) column-major: column j is
-    # subtensor j in natural layout (zero-copy).
-    flat = intermediate.unfold_front(intermediate.ndim - 2)  # (prod(inner), C)
-    if leading:
-        # Subtensor j is I_n x (prod trailing) column-major; the TTV chain is
-        # subtensor_j . krp_j where krp_j is the Hadamard/Kronecker column.
-        ncols = prod(contract_dims)
-        for j in range(C):
-            sub = flat[:, j].reshape((out_dim, ncols), order="F")
-            out[:, j] = sub @ _krp_column(factors, j)
-    else:
-        # Subtensor j is (prod leading) x I_n column-major; contract its rows.
-        nrows = prod(contract_dims)
-        for j in range(C):
-            sub = flat[:, j].reshape((nrows, out_dim), order="F")
-            out[:, j] = _krp_column(factors, j) @ sub
+    _k_multi_ttv(0, 0, C, intermediate, facs, leading, out)
     return out
 
 

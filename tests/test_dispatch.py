@@ -1,5 +1,7 @@
 """Tests for the mttkrp dispatching entry point."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -55,6 +57,31 @@ class TestDispatch:
             mttkrp_oracle(X, U, 0),
             atol=1e-10,
         )
+
+    def test_twostep_external_warns_about_dropped_kwargs(self):
+        # Regression: the degenerate path used to forward twostep-only
+        # kwargs into mttkrp_onestep, raising TypeError — now it drops
+        # them with a warning naming exactly what was ignored.
+        X, U = _case()
+        with pytest.warns(UserWarning, match=r"\['side'\]"):
+            M = mttkrp(X, U, 0, method="twostep", side="left")
+        np.testing.assert_allclose(M, mttkrp_oracle(X, U, 0), atol=1e-10)
+
+    def test_twostep_external_no_warning_without_kwargs(self):
+        X, U = _case()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            mttkrp(X, U, 0, method="twostep")
+
+    def test_backend_argument_accepted(self):
+        X, U = _case()
+        np.testing.assert_allclose(
+            mttkrp(X, U, 1, backend="thread"),
+            mttkrp_oracle(X, U, 1),
+            atol=1e-10,
+        )
+        with pytest.raises(ValueError, match="backend"):
+            mttkrp(X, U, 1, backend="fpga")
 
     def test_unknown_method(self):
         X, U = _case()
