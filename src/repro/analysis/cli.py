@@ -1,0 +1,69 @@
+"""Command-line entry point: ``python -m repro.analysis`` / ``repro-analysis``.
+
+Exit status is designed for CI: 0 when no *unsuppressed error-severity*
+findings remain, 1 otherwise.  ``--strict`` promotes warnings to the same
+treatment.  ``--json`` emits the machine-readable report instead of text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.lint import lint_paths, render_json, render_text
+from repro.analysis.rules import get_rules
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analysis",
+        description=(
+            "Parallel-hazard lint for the MTTKRP reproduction: checks the "
+            "partition/layout/lifetime invariants of the paper's parallel "
+            "algorithms (see docs/analysis.md for the rule catalog)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings too, not just errors",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also list suppressed findings in text output",
+    )
+    args = parser.parse_args(argv)
+
+    ids = ([s.strip() for s in args.rules.split(",") if s.strip()]
+           if args.rules else None)
+    try:
+        rules = get_rules(ids)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    findings = lint_paths(args.paths, rules)
+    if args.json:
+        print(render_json(findings))
+    else:
+        print(render_text(findings, verbose=args.verbose))
+
+    active = [f for f in findings if not f.suppressed]
+    bad = [f for f in active
+           if f.severity == "error" or (args.strict and f.severity == "warning")]
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

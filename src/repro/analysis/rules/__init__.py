@@ -1,0 +1,48 @@
+"""Rule registry for the parallel-hazard lint.
+
+Every rule is instantiated once here; :func:`get_rules` returns the active
+set, optionally restricted to specific ids (the CLI's ``--rules`` flag).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import RawFinding, Rule
+from repro.analysis.rules.layout_rules import (
+    RA003UnpinnedAllocation,
+    RA004HazardousView,
+)
+from repro.analysis.rules.parallel_rules import (
+    RA001UnpartitionedWrite,
+    RA002LoopCapture,
+    RA006GlobalMutation,
+)
+from repro.analysis.rules.shm_rules import RA005RawSharedMemory
+
+__all__ = ["ALL_RULES", "get_rules", "Rule", "RawFinding"]
+
+ALL_RULES: tuple[Rule, ...] = (
+    RA001UnpartitionedWrite(),
+    RA002LoopCapture(),
+    RA003UnpinnedAllocation(),
+    RA004HazardousView(),
+    RA005RawSharedMemory(),
+    RA006GlobalMutation(),
+)
+
+
+def get_rules(ids: list[str] | None = None) -> tuple[Rule, ...]:
+    """The active rule set, optionally restricted to ``ids``.
+
+    Unknown ids raise ``ValueError`` so a typo in ``--rules RA01`` fails
+    loudly instead of silently checking nothing.
+    """
+    if not ids:
+        return ALL_RULES
+    known = {r.id: r for r in ALL_RULES}
+    missing = [i for i in ids if i not in known]
+    if missing:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(missing)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return tuple(known[i] for i in ids)

@@ -1,0 +1,263 @@
+"""Memory-layout contract rules: RA003, RA004.
+
+PR 2 demonstrated that the reproduction's bit-exactness guarantees hang on
+memory layout: a C-order transpose silently moved a GEMM onto a different
+BLAS code path and shifted results by 1 ulp.  The paper's algorithms assume
+``X(0:n)`` never needs reordering — every BLAS operand keeps the
+contiguity the natural tensor layout gives it.  These rules make the two
+load-bearing conventions checkable:
+
+* **RA003** — an ``np.empty``/``np.zeros`` allocation that later receives
+  BLAS output (as an ``out=`` destination, a ``@`` operand, or a store
+  target fed by a matmul) must pin its ``order=`` explicitly.  NumPy's
+  default is C order, but leaving it implicit is exactly how the PR 2
+  regression slipped in: the allocation and the kernel made *different*
+  assumptions.
+* **RA004** — a definitely-layout-hazardous view must not be handed to a
+  BLAS wrapper: a transposed/reshaped expression as the ``out=``
+  destination (writes land through non-native strides and select a
+  different GEMM path), or the transpose of a *stepped* slice as an
+  operand (contiguous in neither order, forcing a hidden copy).
+  A plain ``A.T`` operand is *not* flagged — BLAS consumes native
+  transposes without copying, and the twostep kernels rely on that.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules.base import RawFinding, Rule, attach_parents
+
+__all__ = ["RA003UnpinnedAllocation", "RA004HazardousView"]
+
+#: numpy allocators whose layout should be pinned when BLAS writes to them.
+ALLOCATORS = frozenset({"empty", "zeros"})
+
+#: Functions that wrap BLAS kernels (layout-sensitive code paths).
+BLAS_FUNCS = frozenset({
+    "matmul", "dot", "vdot", "inner", "tensordot", "einsum",
+    "solve", "lstsq", "cholesky", "qr", "svd", "gemm",
+})
+
+
+def _call_name(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _is_blas_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and _call_name(node) in BLAS_FUNCS)
+
+
+def _contains_blas(expr: ast.AST) -> bool:
+    for node in ast.walk(expr):
+        if _is_blas_call(node):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+            return True
+    return False
+
+
+def _root_name(expr: ast.expr) -> str | None:
+    while isinstance(expr, ast.Subscript):
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+class RA003UnpinnedAllocation(Rule):
+    id = "RA003"
+    severity = "warning"
+    title = "order-unpinned allocation receives BLAS output"
+    hint = (
+        "pass an explicit order= ('C' or 'F') to the allocation so the "
+        "layout the BLAS kernel writes through is a stated contract, not "
+        "numpy's default"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> list[RawFinding]:
+        attach_parents(tree)
+        findings: list[RawFinding] = []
+        seen: set[tuple[int, int]] = set()
+        for scope in self._scopes(tree):
+            for f in self._check_scope(scope):
+                key = (f.line, f.col)
+                if key not in seen:
+                    seen.add(key)
+                    findings.append(f)
+        return findings
+
+    def _scopes(self, tree: ast.Module):
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def _check_scope(self, scope: ast.AST) -> list[RawFinding]:
+        # name -> allocation Call node, for multi-D np.empty/np.zeros
+        # without order=; aliases through reshape/asarray/slicing inherit
+        # the origin.
+        unpinned: dict[str, ast.Call] = {}
+        findings: list[RawFinding] = []
+        body = scope.body if not isinstance(scope, ast.Module) else scope.body
+
+        def record_finding(origin: ast.Call, use: ast.AST, how: str) -> None:
+            findings.append(RawFinding(
+                origin.lineno, origin.col_offset,
+                f"allocation without explicit order= {how} "
+                f"(line {use.lineno})",
+            ))
+
+        def alloc_origin(expr: ast.expr) -> ast.Call | None:
+            name = _root_name(expr)
+            return unpinned.get(name) if name else None
+
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name):
+                    tname = node.targets[0].id
+                    origin = self._unpinned_alloc(node.value)
+                    if origin is not None:
+                        unpinned[tname] = origin
+                        continue
+                    alias = self._alias_source(node.value)
+                    if alias is not None and alias in unpinned:
+                        unpinned[tname] = unpinned[alias]
+                    elif tname in unpinned:
+                        del unpinned[tname]  # rebound to something else
+                if isinstance(node, ast.Call) and _is_blas_call(node):
+                    for arg in node.args:
+                        origin = alloc_origin(arg)
+                        if origin is not None:
+                            record_finding(origin, node,
+                                           "is a BLAS operand")
+                    for kw in node.keywords:
+                        if kw.arg == "out":
+                            origin = alloc_origin(kw.value)
+                            if origin is not None:
+                                record_finding(origin, node,
+                                               "is a BLAS out= destination")
+                elif isinstance(node, ast.BinOp) and isinstance(
+                        node.op, ast.MatMult):
+                    for operand in (node.left, node.right):
+                        origin = alloc_origin(operand)
+                        if origin is not None:
+                            record_finding(origin, node, "is a '@' operand")
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    value = node.value
+                    if value is None or not _contains_blas(value):
+                        continue
+                    targets = (node.targets if isinstance(node, ast.Assign)
+                               else [node.target])
+                    for t in targets:
+                        # Plain ``name = a @ b`` rebinds; only stores
+                        # *through* the allocation count.
+                        if isinstance(t, ast.Subscript) or isinstance(
+                                node, ast.AugAssign):
+                            origin = alloc_origin(t)
+                            if origin is not None:
+                                record_finding(origin, node,
+                                               "receives a matmul result")
+        return findings
+
+    def _unpinned_alloc(self, expr: ast.expr) -> ast.Call | None:
+        """The call node if ``expr`` is a multi-D np.empty/np.zeros without
+        ``order=``; 1-D and unknown-rank allocations are skipped (order is
+        meaningless or unknowable statically)."""
+        if not isinstance(expr, ast.Call) or _call_name(expr) not in ALLOCATORS:
+            return None
+        if any(kw.arg == "order" for kw in expr.keywords):
+            return None
+        if not expr.args:
+            return None
+        shape = expr.args[0]
+        if isinstance(shape, (ast.Tuple, ast.List)) and len(shape.elts) >= 2:
+            return expr
+        return None
+
+    def _alias_source(self, expr: ast.expr) -> str | None:
+        """Name whose layout ``expr`` inherits: reshape/asarray/slice views."""
+        if isinstance(expr, ast.Subscript):
+            return _root_name(expr)
+        if isinstance(expr, ast.Call):
+            if (isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr in ("reshape", "view")
+                    and isinstance(expr.func.value, ast.Name)):
+                return expr.func.value.id
+            if (_call_name(expr) in ("asarray", "ascontiguousarray")
+                    and expr.args and isinstance(expr.args[0], ast.Name)):
+                return expr.args[0].id
+        return None
+
+
+class RA004HazardousView(Rule):
+    id = "RA004"
+    severity = "warning"
+    title = "definitely non-native view passed to a BLAS wrapper"
+    hint = (
+        "materialize the operand first (np.ascontiguousarray / an "
+        "order-pinned copy) or write to a natural-order destination and "
+        "transpose afterwards; writing BLAS output through foreign strides "
+        "changes the code path and can shift results by ulps"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> list[RawFinding]:
+        attach_parents(tree)
+        findings: list[RawFinding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and _is_blas_call(node):
+                for kw in node.keywords:
+                    if kw.arg == "out" and self._is_reordering_view(kw.value):
+                        findings.append(RawFinding(
+                            kw.value.lineno, kw.value.col_offset,
+                            "BLAS out= destination is a transposed/reshaped "
+                            "view",
+                        ))
+                for arg in node.args:
+                    if self._is_stepped_transpose(arg):
+                        findings.append(RawFinding(
+                            arg.lineno, arg.col_offset,
+                            "BLAS operand is the transpose of a stepped "
+                            "slice (contiguous in neither order)",
+                        ))
+            elif isinstance(node, ast.BinOp) and isinstance(
+                    node.op, ast.MatMult):
+                for operand in (node.left, node.right):
+                    if self._is_stepped_transpose(operand):
+                        findings.append(RawFinding(
+                            operand.lineno, operand.col_offset,
+                            "'@' operand is the transpose of a stepped "
+                            "slice (contiguous in neither order)",
+                        ))
+        return findings
+
+    def _is_reordering_view(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Attribute) and expr.attr == "T":
+            return True
+        if isinstance(expr, ast.Call):
+            name = _call_name(expr)
+            return name in ("transpose", "reshape", "swapaxes", "moveaxis")
+        return False
+
+    def _is_stepped_transpose(self, expr: ast.expr) -> bool:
+        if not (isinstance(expr, ast.Attribute) and expr.attr == "T"):
+            return False
+        base = expr.value
+        if not isinstance(base, ast.Subscript):
+            return False
+        return self._has_step(base.slice)
+
+    def _has_step(self, sl: ast.expr) -> bool:
+        if isinstance(sl, ast.Slice):
+            return sl.step is not None and not (
+                isinstance(sl.step, ast.Constant) and sl.step.value in (1, None)
+            )
+        if isinstance(sl, ast.Tuple):
+            return any(self._has_step(e) for e in sl.elts)
+        return False

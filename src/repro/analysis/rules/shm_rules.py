@@ -1,0 +1,61 @@
+"""Shared-memory lifetime rule: RA005.
+
+:mod:`repro.parallel.shm` defines strict segment ownership: the parent-side
+:class:`~repro.parallel.shm.ShmArena` creates every segment, registers it,
+and unlinks it exactly once in ``close()``; workers attach through
+:func:`~repro.parallel.shm.attach`, which suppresses resource-tracker
+registration because lifetime belongs to the arena (cpython#82300 would
+otherwise double-unlink).  A raw ``SharedMemory(...)`` call anywhere else
+either leaks the segment (no unlink), double-unlinks it (tracker), or
+unmaps pages other views still reference.
+
+**RA005** therefore flags any direct ``multiprocessing.shared_memory.
+SharedMemory`` construction outside the owning module.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules.base import RawFinding, Rule
+
+__all__ = ["RA005RawSharedMemory"]
+
+
+class RA005RawSharedMemory(Rule):
+    id = "RA005"
+    severity = "error"
+    title = "raw SharedMemory construction outside the owning module"
+    hint = (
+        "allocate through repro.parallel.shm.ShmArena (parent side) or "
+        "attach() (worker side); the arena owns segment lifetime and is "
+        "the only place allowed to create or unlink segments"
+    )
+    allowed_paths = ("repro/parallel/shm.py",)
+
+    def check(self, tree: ast.Module, path: str) -> list[RawFinding]:
+        findings: list[RawFinding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            name = None
+            if isinstance(fn, ast.Name):
+                name = fn.id
+            elif isinstance(fn, ast.Attribute):
+                name = fn.attr
+            if name != "SharedMemory":
+                continue
+            creates = any(
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            )
+            what = "creates" if creates else "attaches to"
+            findings.append(RawFinding(
+                node.lineno, node.col_offset,
+                f"direct SharedMemory call {what} a segment outside "
+                f"repro.parallel.shm",
+            ))
+        return findings

@@ -154,7 +154,7 @@ def node_mttkrp(
     DL = prod(dims[:keep])
     DR = prod(dims[keep + 1 :])
     flat = node.unfold_front(node.ndim - 2)  # (prod dims, C) column-major
-    out = np.empty((d_keep, C), dtype=node.dtype)
+    out = np.empty((d_keep, C), dtype=node.dtype, order="C")
     left = [np.asarray(factors[j]) for j in range(keep)]
     right = [np.asarray(factors[j]) for j in range(keep + 1, k)]
     with t.phase("gemv"):

@@ -113,7 +113,11 @@ def mttkrp_onestep_sequential(
         with t.phase("gemm"), tr.span("gemm"):
             tr.add_counter("gemm_calls", 1)
             return tensor.unfold_mode0() @ K  # X_(0) is column-major
-    M = np.zeros((p.size, rank), dtype=np.result_type(tensor.dtype, K.dtype))
+    M = np.zeros(
+        (p.size, rank),
+        dtype=np.result_type(tensor.dtype, K.dtype),
+        order="C",
+    )
     blocks = tensor.mode_blocks_view(n)  # (IRn, In, ILn), row-major blocks
     with t.phase("gemm"), tr.span("gemm"):
         tr.add_counter("gemm_calls", p.right)

@@ -39,7 +39,7 @@ import numpy as np
 from repro.core.krp import khatri_rao
 from repro.obs import get_tracer
 from repro.parallel.backend import get_executor
-from repro.parallel.blas import blas_threads
+from repro.parallel.blas import assert_native_layout, blas_threads
 from repro.parallel.config import get_backend, resolve_threads
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import mode_products
@@ -156,8 +156,15 @@ def mttkrp_twostep(
                     LmatT = KL.T @ tensor.unfold_front(n - 1)
                     flat = LmatT.ravel()
                 else:
+                    # Runtime backing for the RA004 suppression below
+                    # (checked only under REPRO_SANITIZE).
+                    assert_native_layout(
+                        buf.reshape((C, cols)), "twostep.gemm.left.out"
+                    )
                     np.matmul(
                         KL.T, tensor.unfold_front(n - 1),
+                        # buf is a flat 1-D shared allocation, so this
+                        # reshape is C-contiguous.  # repro: ignore[RA004]
                         out=buf.reshape((C, cols)),
                     )
                     flat = buf
@@ -185,8 +192,15 @@ def mttkrp_twostep(
                     RmatT = KR.T @ tensor.unfold_front(n).T
                     flat = RmatT.ravel()
                 else:
+                    # Runtime backing for the RA004 suppression below
+                    # (checked only under REPRO_SANITIZE).
+                    assert_native_layout(
+                        buf.reshape((C, cols)), "twostep.gemm.right.out"
+                    )
                     np.matmul(
                         KR.T, tensor.unfold_front(n).T,
+                        # buf is a flat 1-D shared allocation, so this
+                        # reshape is C-contiguous.  # repro: ignore[RA004]
                         out=buf.reshape((C, cols)),
                     )
                     flat = buf
@@ -270,7 +284,7 @@ def mttkrp_twostep_blocked(
     if side == "auto":
         side = choose_side(tensor.shape, n)
 
-    M = np.zeros((p.size, rank), dtype=tensor.dtype)
+    M = np.zeros((p.size, rank), dtype=tensor.dtype, order="C")
     with blas_threads(T):
         if side == "right":
             # Block over I_n: rows_per_group intermediate rows = group*ILn.

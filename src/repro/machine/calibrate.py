@@ -60,7 +60,7 @@ def measure_gemm_gflops(
     rng = np.random.default_rng(0)
     A = rng.random((m, k))
     B = rng.random((k, n))
-    out = np.empty((m, n))
+    out = np.empty((m, n), order="C")
 
     def kernel() -> None:
         np.matmul(A, B, out=out)

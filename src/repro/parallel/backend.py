@@ -188,7 +188,12 @@ class ThreadExecutor(Executor):
         )
 
     def allocate_shared(self, shape, dtype=np.float64) -> np.ndarray:
-        return np.zeros(tuple(shape), dtype=dtype)
+        # When the sanitizer is on, shared allocations come back
+        # instrumented so worker writes are race-checked at the barrier;
+        # wrap() is the identity when it is off.
+        from repro.analysis.sanitizer import get_sanitizer
+
+        return get_sanitizer().wrap(np.zeros(tuple(shape), dtype=dtype))
 
     def reduce(self, buffers: np.ndarray, label: str | None = None) -> np.ndarray:
         return parallel_reduce(buffers, self._pool)

@@ -28,6 +28,7 @@ import threading
 import time
 from collections.abc import Callable, Sequence
 
+from repro.analysis.sanitizer import get_sanitizer
 from repro.obs.tracer import get_tracer
 from repro.parallel.partition import contiguous_blocks
 
@@ -153,10 +154,10 @@ class ThreadPool:
         if self._shutdown:
             raise RuntimeError("pool has been shut down")
         tracer = get_tracer()
-        if not tracer.enabled:
-            self._execute(tasks)
-            return
         name = label or "pool.region"
+        if not tracer.enabled:
+            self._dispatch(tasks, name)
+            return
         times: list[float | None] = [None] * self.num_threads
 
         def timed(index: int, task: Callable[[], None]) -> Callable[[], None]:
@@ -176,7 +177,7 @@ class ThreadPool:
         ]
         region_start = time.perf_counter()
         try:
-            self._execute(wrapped)
+            self._dispatch(wrapped, name)
         finally:
             tracer.record_region(
                 name,
@@ -184,6 +185,47 @@ class ThreadPool:
                 time.perf_counter(),
                 [s for s in times if s is not None],
             )
+
+    def _dispatch(
+        self,
+        tasks: Sequence[Callable[[], None] | None],
+        label: str,
+    ) -> None:
+        """Run a region, bracketed by the write-set sanitizer when enabled.
+
+        Each task's thread is tagged with its worker index for the duration
+        of the task, so writes to instrumented arrays attribute correctly;
+        the region barrier then asserts pairwise disjointness of the
+        recorded write sets (:mod:`repro.analysis.sanitizer`).  The check
+        only runs when the region itself succeeded — a ``WorkerError`` must
+        surface unmasked.
+        """
+        san = get_sanitizer()
+        if not san.enabled:
+            self._execute(tasks)
+            return
+
+        def tagged(index: int, task: Callable[[], None]) -> Callable[[], None]:
+            def run() -> None:
+                san.set_worker(index)
+                try:
+                    task()
+                finally:
+                    san.set_worker(None)
+
+            return run
+
+        wrapped = [
+            None if task is None else tagged(i, task)
+            for i, task in enumerate(tasks)
+        ]
+        san.region_begin(label)
+        ok = False
+        try:
+            self._execute(wrapped)
+            ok = True
+        finally:
+            san.region_end(label, check=ok)
 
     def _execute(self, tasks: Sequence[Callable[[], None] | None]) -> None:
         if self.num_threads == 1:

@@ -34,6 +34,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.analysis.sanitizer import SanitizerError
+
 __all__ = ["ShmHandle", "ShmArena", "attach"]
 
 
@@ -62,6 +64,16 @@ class ShmHandle:
 
 
 def _segment_view(seg: shared_memory.SharedMemory, handle: ShmHandle) -> np.ndarray:
+    # Always-on bounds contract (one integer compare): a handle describing
+    # more bytes than its segment holds is stale or corrupted, and mapping
+    # it would read/write past the segment.  numpy would also refuse, but
+    # with a generic buffer error that hides *which* segment went stale.
+    if handle.nbytes > seg.size:
+        raise SanitizerError(
+            f"shm segment {handle.name!r} is {seg.size} bytes but handle "
+            f"describes shape={handle.shape} dtype={handle.dtype} "
+            f"({handle.nbytes} bytes) — stale or corrupted handle"
+        )
     view = np.ndarray(
         handle.shape, dtype=np.dtype(handle.dtype), buffer=seg.buf,
         order=handle.order,
@@ -184,7 +196,13 @@ class ShmArena:
     def view(self, handle: ShmHandle) -> np.ndarray:
         """Parent-side view of a segment this arena owns."""
         with self._lock:
-            seg = self._segments[handle.name]
+            seg = self._segments.get(handle.name)
+        if seg is None:
+            raise SanitizerError(
+                f"shm segment {handle.name!r} is not owned by this arena "
+                f"(already retired, or the handle belongs to another "
+                f"arena) — lifetime violation"
+            )
         return _segment_view(seg, handle)
 
     def owns(self, array: np.ndarray) -> bool:

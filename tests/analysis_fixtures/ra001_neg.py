@@ -1,0 +1,32 @@
+"""RA001 negative: every shared write goes through the partition."""
+
+import numpy as np
+
+from repro.parallel.partition import contiguous_blocks
+
+
+def _k_good_block(worker, start, stop, data, out):
+    out[start:stop] = data[start:stop] * 2.0
+
+
+def _k_good_worker_slot(worker, start, stop, data, out, times):
+    out[start:stop] = data[start:stop] * 2.0
+    times[worker] = 1.0
+
+
+def _k_good_derived(worker, start, stop, data, out):
+    # Indices derived from the partition bounds are fine.
+    for j in range(start, stop):
+        out[j] = data[j] * 2.0
+
+
+def launch(pool, data, out):
+    blocks = contiguous_blocks(out.shape[0], pool.num_threads)
+    tasks = []
+    for t, (start, stop) in enumerate(blocks):
+        tasks.append(
+            lambda t=t, start=start, stop=stop: np.multiply(
+                data[start:stop], 2.0, out=out[start:stop]
+            )
+        )
+    pool.run_tasks(tasks)

@@ -1,0 +1,25 @@
+"""RA001 positive: shared writes not indexed through the partition."""
+
+import numpy as np
+
+
+def _k_bad_constant_index(worker, start, stop, data, out):
+    # Every worker writes row 0 — a guaranteed race.
+    out[0] = data[start:stop].sum()
+
+
+def _k_bad_whole_array(worker, start, stop, data, out):
+    # In-place accumulation into the whole shared array from every worker.
+    out += data[start:stop].sum()
+
+
+def launch(pool, data, out):
+    n = pool.num_threads
+    # Task closure writing through an index unrelated to its identity.
+    pool.run_tasks([
+        lambda t=t: out.__setitem__(3, np.sum(data)) for t in range(n)
+    ])
+    # Whole-array out= destination from worker code.
+    pool.run_tasks([
+        lambda t=t: np.multiply(data, 2.0, out=out) for t in range(n)
+    ])

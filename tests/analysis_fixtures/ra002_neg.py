@@ -1,0 +1,19 @@
+"""RA002 negative: loop variables bound at definition time."""
+
+
+def launch(pool, work):
+    tasks = []
+    for t in range(pool.num_threads):
+        # Default-argument binding evaluates t now, not at call time.
+        tasks.append(lambda t=t: work(t))
+    pool.run_tasks(tasks)
+
+
+def build(items):
+    def make(item):
+        # Factory function: item is a parameter, not a capture.
+        def fn():
+            return item * 2
+        return fn
+
+    return [make(item) for item in items]

@@ -1,0 +1,20 @@
+"""RA002 positive: closures capture the loop variable by reference."""
+
+
+def launch(pool, work):
+    tasks = []
+    for t in range(pool.num_threads):
+        # Every task sees the *final* value of t.
+        tasks.append(lambda: work(t))
+    pool.run_tasks(tasks)
+
+
+def build(items):
+    # Comprehension-variable capture has the same by-reference hazard
+    # when the lambda body reads a loop variable of an *enclosing* for.
+    fns = []
+    for item in items:
+        def fn():
+            return item * 2
+        fns.append(fn)
+    return fns

@@ -1,0 +1,22 @@
+"""RA003 negative: pinned-order allocations, or allocs never fed to BLAS."""
+
+import numpy as np
+
+
+def gemm_into_pinned(a, b):
+    out = np.empty((4, 4), order="C")
+    np.matmul(a, b, out=out)
+    return out
+
+
+def one_dim_alloc(a):
+    # 1-D allocations have no order ambiguity.
+    flat = np.empty(16)
+    flat[:] = a.ravel()
+    return flat
+
+
+def alloc_without_blas(a):
+    scratch = np.zeros((4, 4))
+    scratch[:] = a * 2.0
+    return scratch

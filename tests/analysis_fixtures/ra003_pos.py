@@ -1,0 +1,16 @@
+"""RA003 positive: order-unpinned allocations receiving BLAS output."""
+
+import numpy as np
+
+
+def gemm_into_unpinned(a, b):
+    out = np.empty((4, 4))
+    np.matmul(a, b, out=out)
+    return out
+
+
+def accumulate_into_unpinned(blocks, k):
+    m = np.zeros((8, 3))
+    for blk in blocks:
+        m += blk @ k
+    return m

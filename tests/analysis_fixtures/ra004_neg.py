@@ -1,0 +1,17 @@
+"""RA004 negative: native transposes and materialized operands are fine."""
+
+import numpy as np
+
+
+def native_transpose_operand(a, b):
+    # BLAS consumes a plain transpose without copying (trans flag).
+    return a.T @ b
+
+
+def materialized_stepped(x, y):
+    xs = np.ascontiguousarray(x[::2].T)
+    return np.matmul(xs, y)
+
+
+def contiguous_out(a, b, out):
+    np.matmul(a, b, out=out)

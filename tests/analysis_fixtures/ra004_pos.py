@@ -1,0 +1,17 @@
+"""RA004 positive: definitely non-native views handed to BLAS."""
+
+import numpy as np
+
+
+def write_through_transpose(a, b, out):
+    # BLAS output lands through foreign strides.
+    np.matmul(a, b, out=out.T)
+
+
+def stepped_transpose_operand(x, y):
+    # x[::2].T is contiguous in neither order: forces a hidden copy.
+    return np.matmul(x[::2].T, y)
+
+
+def stepped_transpose_matmul(x, y):
+    return x[::2].T @ y

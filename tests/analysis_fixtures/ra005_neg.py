@@ -1,0 +1,13 @@
+"""RA005 negative: segments go through the arena / attach helpers."""
+
+from repro.parallel.shm import ShmArena, attach
+
+
+def allocate_through_arena(shape):
+    arena = ShmArena()
+    view, handle = arena.allocate(shape)
+    return arena, view, handle
+
+
+def worker_attach(handle, cache):
+    return attach(handle, cache)

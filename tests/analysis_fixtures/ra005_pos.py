@@ -1,0 +1,16 @@
+"""RA005 positive: raw SharedMemory construction outside the owning module."""
+
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leak_a_segment():
+    # Created here, unlinked nowhere: leaks until reboot.
+    seg = shared_memory.SharedMemory(name="fixture_seg", create=True, size=64)
+    return seg
+
+
+def double_unlink_hazard(name):
+    # Plain attach registers with the resource tracker (cpython#82300):
+    # worker exit may unlink a segment the parent still owns.
+    return SharedMemory(name=name)

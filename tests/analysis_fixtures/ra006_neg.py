@@ -1,0 +1,7 @@
+"""RA006 negative: workers only touch arguments and partition-indexed state."""
+
+
+def _k_good(worker, start, stop, data, out, stats):
+    local_total = data[start:stop].sum()
+    out[start:stop] = data[start:stop]
+    stats[worker] = local_total

@@ -1,0 +1,16 @@
+"""RA006 positive: worker code mutates module-level state."""
+
+import repro.parallel.config as config
+
+COUNTER = 0
+
+
+def _k_bad_global(worker, start, stop, data, out):
+    global COUNTER
+    COUNTER += 1
+    out[start:stop] = data[start:stop]
+
+
+def _k_bad_module_attr(worker, start, stop, data, out):
+    config.cached_value = data.sum()
+    out[start:stop] = data[start:stop]
