@@ -96,6 +96,7 @@ def cp_als(
     backend: str | None = None,
     rng: np.random.Generator | int | None = None,
     verbose: bool = False,
+    workspace: "Workspace | None" = None,
 ) -> CPALSResult:
     """Fit a rank-``C`` CP decomposition with alternating least squares.
 
@@ -137,6 +138,14 @@ def cp_als(
         Seed/generator for random initialization.
     verbose:
         Print fit per iteration.
+    workspace:
+        Optional :class:`~repro.parallel.workspace.Workspace` for the
+        dimtree strategy's iteration-reused buffers (node buffers, KRP
+        panels, per-worker private outputs).  By default one is created
+        internally and closed when the run finishes; pass your own to
+        inspect its allocation stats (after warm-up, dimtree iterations
+        allocate nothing) or to share buffers across runs on equal
+        shapes.  Ignored by ``mode_strategy="per-mode"``.
 
     Returns
     -------
@@ -216,79 +225,109 @@ def cp_als(
         mode_strategy=mode_strategy,
         method=method,
     ):
-        for it in range(n_iter_max):
-            with tracer.span(f"iter[{it}]"):
-                t_start = wall_time()
-                M = None
-                if mode_strategy == "per-mode":
-                    for n in range(N):
-                        with tracer.span(f"mode[{n}]"):
-                            M = mttkrp(
-                                tensor,
-                                factors,
-                                n,
-                                method=method,
-                                num_threads=num_threads,
-                                timers=timers,
+        # Dimension-tree runtime state, acquired once and reused by every
+        # iteration: the executor team and the workspace arena owning the
+        # node buffers, KRP panels and private outputs (zero per-iteration
+        # allocations after the first iteration warms the arena up).
+        ws = None
+        own_ws = False
+        if mode_strategy == "dimtree":
+            from repro.core.dimtree import (
+                left_partial,
+                node_mttkrp,
+                right_partial,
+                split_point,
+            )
+            from repro.parallel.backend import get_executor
+            from repro.parallel.config import resolve_threads
+            from repro.parallel.workspace import Workspace
+
+            m = split_point(N)
+            T = resolve_threads(num_threads)
+            executor = get_executor(T) if T > 1 else None
+            ws = workspace if workspace is not None else Workspace(executor)
+            own_ws = workspace is None
+        try:
+            for it in range(n_iter_max):
+                with tracer.span(f"iter[{it}]"):
+                    t_start = wall_time()
+                    M = None
+                    if mode_strategy == "per-mode":
+                        for n in range(N):
+                            with tracer.span(f"mode[{n}]"):
+                                M = mttkrp(
+                                    tensor,
+                                    factors,
+                                    n,
+                                    method=method,
+                                    num_threads=num_threads,
+                                    timers=timers,
+                                )
+                                update_mode(n, M, it)
+                    else:
+                        # Dimension tree (Phan et al. III.C): one partial
+                        # contraction per half-iteration, shared by all
+                        # modes of that half.
+                        # T_L depends only on the right factors -> valid
+                        # while the left modes update in sequence.
+                        with tracer.span("partial[left]"):
+                            T_L = left_partial(
+                                tensor, factors, m,
+                                num_threads=num_threads, timers=timers,
+                                executor=executor, workspace=ws,
                             )
-                            update_mode(n, M, it)
-                else:
-                    # Dimension tree (Phan et al. III.C): one partial
-                    # contraction per half-iteration, shared by all modes
-                    # of that half.
-                    from repro.core.dimtree import (
-                        left_partial,
-                        node_mttkrp,
-                        right_partial,
-                        split_point,
+                        for n in range(m):
+                            with tracer.span(f"mode[{n}]"):
+                                M = node_mttkrp(
+                                    T_L, factors[:m], keep=n,
+                                    num_threads=num_threads, timers=timers,
+                                    executor=executor, workspace=ws,
+                                    slot=f"nodeL[{n}]",
+                                )
+                                update_mode(n, M, it)
+                        # T_R must see the freshly updated left factors.
+                        with tracer.span("partial[right]"):
+                            T_R = right_partial(
+                                tensor, factors, m,
+                                num_threads=num_threads, timers=timers,
+                                executor=executor, workspace=ws,
+                            )
+                        for n in range(m, N):
+                            with tracer.span(f"mode[{n}]"):
+                                M = node_mttkrp(
+                                    T_R, factors[m:], keep=n - m,
+                                    num_threads=num_threads, timers=timers,
+                                    executor=executor, workspace=ws,
+                                    slot=f"nodeR[{n - m}]",
+                                )
+                                update_mode(n, M, it)
+                    result.iteration_times.append(wall_time() - t_start)
+
+                    # Fit via the last mode's MTTKRP (no extra tensor
+                    # pass): <X, Y> = sum_{i,c} M(i,c) U_{N-1}(i,c) w_c ;
+                    # |Y|^2 = w^T H* w.
+                    assert M is not None
+                    inner = float(
+                        np.einsum("ic,ic,c->", M, factors[N - 1], weights)
                     )
-
-                    m = split_point(N)
-                    # T_L depends only on the right factors -> valid while
-                    # the left modes update in sequence.
-                    with tracer.span("partial[left]"):
-                        T_L = left_partial(
-                            tensor, factors, m,
-                            num_threads=num_threads, timers=timers,
-                        )
-                    for n in range(m):
-                        with tracer.span(f"mode[{n}]"):
-                            M = node_mttkrp(
-                                T_L, factors[:m], keep=n, timers=timers
-                            )
-                            update_mode(n, M, it)
-                    # T_R must see the freshly updated left factors.
-                    with tracer.span("partial[right]"):
-                        T_R = right_partial(
-                            tensor, factors, m,
-                            num_threads=num_threads, timers=timers,
-                        )
-                    for n in range(m, N):
-                        with tracer.span(f"mode[{n}]"):
-                            M = node_mttkrp(
-                                T_R, factors[m:], keep=n - m, timers=timers
-                            )
-                            update_mode(n, M, it)
-                result.iteration_times.append(wall_time() - t_start)
-
-                # Fit via the last mode's MTTKRP (no extra tensor pass):
-                # <X, Y> = sum_{i,c} M(i,c) U_{N-1}(i,c) w_c ;
-                # |Y|^2 = w^T H* w.
-                assert M is not None
-                inner = float(
-                    np.einsum("ic,ic,c->", M, factors[N - 1], weights)
-                )
-                norm_y_sq = float(weights @ grams.hadamard_all() @ weights)
-                residual_sq = max(norm_x**2 - 2.0 * inner + norm_y_sq, 0.0)
-                fit = 1.0 - np.sqrt(residual_sq) / norm_x
-                result.fits.append(fit)
-                result.iterations = it + 1
-                if verbose:
-                    print(f"iter {it + 1:3d}: fit = {fit:.8f}")
-                if tol > 0 and abs(fit - previous_fit) < tol:
-                    result.converged = True
-                    break
-                previous_fit = fit
+                    norm_y_sq = float(
+                        weights @ grams.hadamard_all() @ weights
+                    )
+                    residual_sq = max(
+                        norm_x**2 - 2.0 * inner + norm_y_sq, 0.0
+                    )
+                    fit = 1.0 - np.sqrt(residual_sq) / norm_x
+                    result.fits.append(fit)
+                    result.iterations = it + 1
+                    if verbose:
+                        print(f"iter {it + 1:3d}: fit = {fit:.8f}")
+                    if tol > 0 and abs(fit - previous_fit) < tol:
+                        result.converged = True
+                        break
+                    previous_fit = fit
+        finally:
+            if own_ws and ws is not None:
+                ws.close()
 
     result.model = KruskalTensor(
         [f.copy() for f in factors], weights.copy()

@@ -49,6 +49,7 @@ from repro.parallel.partition import (
 from repro.parallel.pool import ThreadPool, get_pool, shutdown_all_pools
 from repro.parallel.reduction import allocate_private, parallel_reduce
 from repro.parallel.shm import ShmArena, ShmHandle
+from repro.parallel.workspace import Workspace, WorkspaceStats
 
 __all__ = [
     "ThreadPool",
@@ -61,6 +62,8 @@ __all__ = [
     "shutdown_all_executors",
     "ShmArena",
     "ShmHandle",
+    "Workspace",
+    "WorkspaceStats",
     "contiguous_blocks",
     "block_bounds",
     "owner_of",

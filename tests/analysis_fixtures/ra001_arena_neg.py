@@ -1,0 +1,31 @@
+"""RA001 negative: the workspace-arena reuse pattern.
+
+The dimtree second level acquires arena-owned buffers outside the region
+(node buffer, Kronecker panel, per-worker private slabs) and its kernels
+write only through partition-derived destinations: ``out=priv[worker]``
+ufunc targets, views *derived from* ``priv[worker]``, and per-worker
+clock slots.  RA001 must recognize all of these as partition-indexed.
+"""
+
+import numpy as np
+
+
+def _k_arena_right(worker, start, stop, node_buf, C, DL, d_keep, DR, KRT,
+                   priv, clk):
+    if start >= stop:
+        return
+    # Reads: zero-copy views of the arena-owned node buffer and panel.
+    S = node_buf.reshape((C, DR, d_keep, DL)).transpose(0, 3, 2, 1)
+    np.matmul(
+        S[..., start:stop], KRT[:, None, start:stop, None], out=priv[worker]
+    )
+    clk[worker] = 1.0
+
+
+def _k_arena_view(worker, start, stop, node_buf, C, d_keep, KLT, priv, clk):
+    # A name derived from priv[worker] is still partition-derived.
+    mine = priv[worker]
+    slab = mine.reshape((C, 1, d_keep))
+    S = node_buf.reshape((C, 1, d_keep, -1)).transpose(0, 3, 2, 1)[..., 0]
+    np.matmul(KLT[:, None, start:stop], S[:, start:stop, :], out=slab)
+    clk[worker] += 1.0

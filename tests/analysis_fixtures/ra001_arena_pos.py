@@ -1,0 +1,18 @@
+"""RA001 positive: arena-owned buffers written past the partition.
+
+Reusing buffers across iterations does not relax the write discipline:
+a kernel writing an arena slab it does not own this region races with
+the worker that does.
+"""
+
+import numpy as np
+
+
+def _k_arena_wrong_slot(worker, start, stop, node_buf, KRT, priv):
+    # Every worker writes slab 0 regardless of its identity.
+    np.matmul(node_buf[start:stop], KRT, out=priv[0])
+
+
+def _k_arena_whole_buffer(worker, start, stop, node_buf, priv):
+    # Accumulating into the whole private stack from each worker.
+    priv += node_buf[start:stop].sum()

@@ -57,6 +57,27 @@ class TestRuleFixtures:
         ids = {f.rule for f in lint_paths([FIXTURES])}
         assert ids >= set(RULE_IDS)
 
+
+class TestArenaReusePattern:
+    """RA001 vs the workspace-arena idiom of the dimtree kernels.
+
+    Buffers acquired from a :class:`repro.parallel.workspace.Workspace`
+    outside the region and written inside it through partition-derived
+    destinations (``out=priv[worker]``, views derived from it, per-worker
+    clock slots) must lint clean; writing an arena slab the worker does
+    not own must still fire.
+    """
+
+    def test_arena_reuse_negative_clean(self):
+        assert findings_for("ra001_arena_neg.py") == []
+
+    def test_arena_reuse_positive_fires(self):
+        hits = findings_for("ra001_arena_pos.py", "RA001")
+        assert len(hits) == 2
+        assert {f.rule for f in findings_for("ra001_arena_pos.py")} == {
+            "RA001"
+        }
+
     def test_severities(self):
         sev = {r.id: r.severity for r in ALL_RULES}
         assert sev["RA001"] == "error"

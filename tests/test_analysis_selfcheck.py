@@ -36,4 +36,6 @@ def test_analyzer_sees_the_whole_tree():
     files = collect_files([SRC])
     assert len(files) > 20
     names = {f.name for f in files}
-    assert {"pool.py", "shm.py", "mttkrp_onestep.py"} <= names
+    assert {
+        "pool.py", "shm.py", "mttkrp_onestep.py", "workspace.py", "dimtree.py"
+    } <= names

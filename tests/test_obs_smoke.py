@@ -119,3 +119,63 @@ def test_dimtree_strategy_also_traced():
     assert len(mode_spans) == 2 * 4
     assert any(s.name == "partial[left]" for s in spans)
     assert any(s.name == "partial[right]" for s in spans)
+
+
+@pytest.fixture
+def traced_dimtree_run():
+    tracer = obs.enable()
+    try:
+        X = random_tensor((6, 5, 4, 3), rng=2)
+        init = random_factors(X.shape, 3, rng=3)
+        result = cp_als(
+            X, 3, n_iter_max=ITERS, tol=0.0, init=init,
+            mode_strategy="dimtree", num_threads=THREADS,
+        )
+    finally:
+        obs.disable()
+    return tracer, result
+
+
+def test_dimtree_partials_carry_gemm_counters(traced_dimtree_run):
+    tracer, _ = traced_dimtree_run
+    partials = [
+        s for s in tracer.spans()
+        if s.name in ("partial[left]", "partial[right]")
+    ]
+    assert len(partials) == 2 * ITERS
+    # Each half is one big GEMM plus a parallel KRP on the executor.
+    gemm_spans = [s for s in tracer.spans() if s.name == "gemm"]
+    dimtree_gemms = [
+        s for s in gemm_spans if "partial[" in s.path
+    ]
+    assert len(dimtree_gemms) == 2 * ITERS
+    for s in dimtree_gemms:
+        assert s.counters.get("gemm_calls") == 1
+    krp_spans = [
+        s for s in tracer.spans()
+        if s.name == "krp.parallel" and "partial[" in s.path
+    ]
+    assert len(krp_spans) == 2 * ITERS
+
+
+def test_dimtree_node_spans_and_imbalance(traced_dimtree_run):
+    tracer, result = traced_dimtree_run
+    node_spans = [s for s in tracer.spans() if s.name == "node_mttkrp"]
+    # One per mode per iteration, nested under its mode span.
+    assert len(node_spans) == ITERS * 4
+    for s in node_spans:
+        assert "/mode[" in s.path
+        assert s.counters.get("flops", 0) > 0
+        assert s.counters.get("gemm_calls", 0) >= 1
+    # The executor-parallel node contraction records region imbalance.
+    regions = [
+        s for s in tracer.spans()
+        if s.name == "dimtree.node" and "imbalance" in s.counters
+    ]
+    assert regions
+    for region in regions:
+        assert 1 <= region.counters["workers"] <= THREADS
+    # The PhaseTimer view of the same run has the dimtree phases.
+    assert {"lr_krp", "gemm", "node_krp", "node_gemm"} <= set(
+        result.timers.totals
+    )
