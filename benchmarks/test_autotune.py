@@ -1,0 +1,75 @@
+"""Autotuner economics: cold tuning cost vs warm dispatch overhead.
+
+Three quantities decide whether ``method="autotune"`` is worth it:
+
+* the one-time **cold cost** of measuring the candidate set for a key;
+* the per-call **warm overhead** of a cache hit over calling the picked
+  kernel directly (should be microseconds — a dict lookup plus a span);
+* the gap between the tuned pick and the static ``"auto"`` policy
+  (Section 5.3.3), which is the payoff that amortizes the cold cost.
+
+Run: ``pytest benchmarks/test_autotune.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_threads, cached_problem, record_paper_context
+from repro.core.dispatch import mttkrp
+from repro.tune import TuningCache, autotune, reset_cache
+
+_SHAPE = (48, 32, 24)
+_RANK = 16
+_T = max(bench_threads())
+
+
+@pytest.fixture(autouse=True)
+def _in_memory_cache(monkeypatch):
+    monkeypatch.delenv("REPRO_TUNE_CACHE", raising=False)
+    reset_cache()
+    yield
+    reset_cache()
+
+
+def test_cold_tuning_cost(benchmark):
+    """Full candidate measurement for one (shape, rank, mode) key."""
+    X, U = cached_problem(_SHAPE, _RANK)
+    record_paper_context(
+        benchmark, ablation="autotune", kind="cold", threads=_T,
+        shape=list(_SHAPE), rank=_RANK,
+    )
+
+    def cold():
+        cache = TuningCache(None)  # fresh every round: always a miss
+        autotune(X, U, 1, num_threads=_T, cache=cache, repeats=1)
+
+    benchmark(cold)
+
+
+def test_warm_dispatch_overhead(benchmark):
+    """``method="autotune"`` with a warm cache vs the kernel it picked."""
+    X, U = cached_problem(_SHAPE, _RANK)
+    cache = TuningCache(None)
+    record = autotune(X, U, 1, num_threads=_T, cache=cache, repeats=1)
+    record_paper_context(
+        benchmark, ablation="autotune", kind="warm", threads=_T,
+        pick=record.label,
+    )
+    benchmark(
+        lambda: autotune(X, U, 1, num_threads=_T, cache=cache)
+    )
+
+
+@pytest.mark.parametrize("method", ["auto", "autotune"])
+def test_static_policy_vs_tuned_pick(benchmark, method):
+    """End-to-end MTTKRP under the static Section 5.3.3 policy vs the
+    measured pick (warm cache), same operands and thread count."""
+    X, U = cached_problem(_SHAPE, _RANK)
+    if method == "autotune":
+        mttkrp(X, U, 1, method="autotune", num_threads=_T)  # warm the cache
+    record_paper_context(
+        benchmark, ablation="autotune", kind="policy", method=method,
+        threads=_T,
+    )
+    benchmark(lambda: mttkrp(X, U, 1, method=method, num_threads=_T))

@@ -78,8 +78,68 @@ __all__ = [
     "right_partial",
     "node_mttkrp",
     "node_mttkrp_columnwise",
+    "mttkrp_dimtree",
     "split_point",
 ]
+
+
+def mttkrp_dimtree(
+    tensor: DenseTensor,
+    factors: Sequence[np.ndarray],
+    n: int,
+    num_threads: int | None = None,
+    timers: PhaseTimer | None = None,
+    executor: "Executor | None" = None,
+    workspace: "Workspace | None" = None,
+    slot: str | None = None,
+) -> np.ndarray:
+    """Single-mode MTTKRP through the dimension-tree node path.
+
+    Computes the half-tensor partial contraction that covers mode ``n``
+    (:func:`left_partial` or :func:`right_partial`) and finishes with one
+    :func:`node_mttkrp`.  In CP-ALS the partial is shared across all
+    modes of its half (``mode_strategy="dimtree"``); as a *single-mode*
+    kernel the partial is paid in full, so this path wins only where the
+    node contraction is disproportionately cheap — which is exactly the
+    kind of machine/shape-dependent call the autotuner
+    (:mod:`repro.tune`) measures instead of guessing.
+
+    ``workspace``/``slot`` follow :func:`node_mttkrp`: with a reused
+    workspace, repeated calls on equal shapes allocate nothing after the
+    first.  The returned array is a workspace buffer when a workspace is
+    passed (valid until the next same-slot call), a fresh array otherwise.
+    """
+    if not isinstance(tensor, DenseTensor):
+        raise TypeError(
+            f"tensor must be a DenseTensor, got {type(tensor).__name__}"
+        )
+    N = tensor.ndim
+    check_factor_matrices(list(factors), tensor.shape)
+    if not -N <= n < N:
+        raise ValueError(f"mode {n} out of range for order {N}")
+    n = n % N
+    m = split_point(N)
+    if slot is None:
+        slot = f"dimtree.mode[{n}]"
+    if n < m:
+        node = left_partial(
+            tensor, factors, m, num_threads=num_threads, timers=timers,
+            executor=executor, workspace=workspace,
+        )
+        return node_mttkrp(
+            node, factors[:m], keep=n, num_threads=num_threads,
+            timers=timers, executor=executor, workspace=workspace,
+            slot=slot,
+        )
+    node = right_partial(
+        tensor, factors, m, num_threads=num_threads, timers=timers,
+        executor=executor, workspace=workspace,
+    )
+    return node_mttkrp(
+        node, factors[m:], keep=n - m, num_threads=num_threads,
+        timers=timers, executor=executor, workspace=workspace,
+        slot=slot,
+    )
 
 
 def split_point(N: int) -> int:

@@ -14,6 +14,7 @@ from contextlib import nullcontext
 
 import numpy as np
 
+from repro.core.dimtree import mttkrp_dimtree
 from repro.core.flops import baseline_cost, onestep_cost, twostep_cost
 from repro.core.mttkrp_baseline import mttkrp_baseline
 from repro.core.mttkrp_onestep import mttkrp_onestep, mttkrp_onestep_sequential
@@ -26,7 +27,22 @@ from repro.util.validation import check_mode
 
 __all__ = ["mttkrp", "MTTKRP_METHODS"]
 
-MTTKRP_METHODS = ("auto", "onestep", "onestep-seq", "twostep", "baseline")
+MTTKRP_METHODS = (
+    "auto",
+    "autotune",
+    "onestep",
+    "onestep-seq",
+    "twostep",
+    "dimtree",
+    "baseline",
+)
+
+# Keyword arguments that configure the *execution environment* of a
+# kernel rather than its mathematics.  When the autotuner resolves
+# ``method="autotune"`` to a concrete kernel, only these are forwarded
+# from the caller's kwargs (and only to kernels that accept them) — the
+# mathematical kwargs come from the tuning record itself.
+_TUNE_PASSTHROUGH = ("workspace", "executor", "slot")
 
 
 def mttkrp(
@@ -55,11 +71,25 @@ def mttkrp(
     method:
         * ``"auto"`` — the paper's CP-ALS policy: 1-step for external
           modes, 2-step for internal modes;
+        * ``"autotune"`` — empirical selection (:mod:`repro.tune`): the
+          fastest kernel measured for this ``(shape, rank, mode,
+          threads, backend, dtype)`` key, served from the persisted
+          tuning cache after the first call.  2-way tensors skip
+          measurement entirely (every kernel is the same single GEMM).
+          Caller kwargs other than ``workspace``/``executor``/``slot``
+          are ignored — the tuning record supplies the kernel kwargs;
         * ``"onestep"`` — Algorithm 3 (the recommended 1-step variant,
           also for ``num_threads=1``);
         * ``"onestep-seq"`` — Algorithm 2 (explicit full KRP);
         * ``"twostep"`` — Algorithm 4 (internal modes only; external modes
-          fall back to 1-step, which it degenerates to);
+          fall back to 1-step, which it degenerates to).  The spec forms
+          ``"twostep:left"``/``"twostep:right"`` pin the ordering (same
+          as ``side=``) — this is the label syntax tuning records use,
+          so a recorded pick can be replayed verbatim;
+        * ``"dimtree"`` — the dimension-tree node path for a single mode
+          (half-tensor partial contraction + node MTTKRP, see
+          :func:`repro.core.dimtree.mttkrp_dimtree`); accepts
+          ``workspace=``/``executor=``/``slot=``;
         * ``"baseline"`` — explicit reorder + full KRP + single GEMM.
     num_threads:
         Thread count; defaults to the package-wide setting.
@@ -86,6 +116,34 @@ def mttkrp(
     external = n == 0 or n == tensor.ndim - 1
     if method == "auto":
         method = "onestep" if external else "twostep"
+    autotuned = method == "autotune"
+    if autotuned:
+        from repro.tune.tuner import autotune
+
+        record = autotune(
+            tensor,
+            factors,
+            n,
+            num_threads=num_threads,
+            backend=backend,
+            workspace=kwargs.get("workspace"),
+        )
+        method = record.method
+        resolved_kwargs = dict(record.kwargs)
+        if method == "dimtree":
+            for key in _TUNE_PASSTHROUGH:
+                if key in kwargs:
+                    resolved_kwargs[key] = kwargs[key]
+        kwargs = resolved_kwargs
+    if method.startswith("twostep:"):
+        side_spec = method.partition(":")[2]
+        if side_spec not in ("left", "right"):
+            raise ValueError(
+                f"unknown method {method!r}; the twostep spec form is "
+                f"'twostep:left' or 'twostep:right'"
+            )
+        method = "twostep"
+        kwargs.setdefault("side", side_spec)
     seq_variant = method == "onestep-seq"
     if method == "twostep" and external:
         # The paper: "for external modes, the 2-step algorithm degenerates
@@ -112,15 +170,19 @@ def mttkrp(
         if not tracer.enabled:
             return _run(tensor, factors, n, method, num_threads, timers, kwargs)
         with tracer.span(
-            f"mttkrp.{method}", mode=n, shape=list(tensor.shape)
+            f"mttkrp.{method}", mode=n, shape=list(tensor.shape),
+            autotuned=autotuned,
         ) as span:
             out = _run(tensor, factors, n, method, num_threads, timers, kwargs)
             rank = int(out.shape[1])
             span.args["rank"] = rank
-            _attach_cost(
-                span, tensor.shape, n, rank, method,
-                1 if seq_variant else resolve_threads(num_threads),
-            )
+            if method != "dimtree":
+                # The dimtree path's phases carry their own flop/gemm
+                # counters on the nested partial/node spans.
+                _attach_cost(
+                    span, tensor.shape, n, rank, method,
+                    1 if seq_variant else resolve_threads(num_threads),
+                )
             return out
 
 
@@ -135,6 +197,10 @@ def _run(tensor, factors, n, method, num_threads, timers, kwargs):
         )
     if method == "twostep":
         return mttkrp_twostep(
+            tensor, factors, n, num_threads=num_threads, timers=timers, **kwargs
+        )
+    if method == "dimtree":
+        return mttkrp_dimtree(
             tensor, factors, n, num_threads=num_threads, timers=timers, **kwargs
         )
     assert method == "baseline"

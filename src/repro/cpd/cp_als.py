@@ -56,6 +56,12 @@ class CPALSResult:
     timers:
         Aggregated per-phase timings across all iterations (MTTKRP phases
         plus ``"gram"`` and ``"solve"``).
+    tuning:
+        Per-mode :class:`~repro.tune.cache.TuneRecord` list when the run
+        was started with ``tune=True`` (``None`` otherwise).  Each
+        record's :attr:`~repro.tune.cache.TuneRecord.label` is a method
+        spec accepted back by :func:`cp_als`/:func:`~repro.core.dispatch.mttkrp`,
+        so a tuned run is exactly replayable.
     """
 
     model: KruskalTensor
@@ -64,6 +70,7 @@ class CPALSResult:
     iterations: int = 0
     iteration_times: list[float] = field(default_factory=list)
     timers: PhaseTimer = field(default_factory=PhaseTimer)
+    tuning: list | None = None
 
     @property
     def final_fit(self) -> float:
@@ -90,13 +97,14 @@ def cp_als(
     n_iter_max: int = 50,
     tol: float = 1e-8,
     init: str | Sequence[np.ndarray] = "random",
-    method: str = "auto",
+    method: str | Sequence[str] = "auto",
     mode_strategy: str = "per-mode",
     num_threads: int | None = None,
     backend: str | None = None,
     rng: np.random.Generator | int | None = None,
     verbose: bool = False,
     workspace: "Workspace | None" = None,
+    tune: bool = False,
 ) -> CPALSResult:
     """Fit a rank-``C`` CP decomposition with alternating least squares.
 
@@ -117,8 +125,11 @@ def cp_als(
     method:
         MTTKRP method passed to :func:`repro.core.dispatch.mttkrp`
         (``"auto"`` = the paper's per-mode policy; ``"baseline"`` gives the
-        Tensor-Toolbox-style comparison point).  Ignored when
-        ``mode_strategy="dimtree"``.
+        Tensor-Toolbox-style comparison point), or a sequence of one
+        method spec per mode (spec forms like ``"twostep:left"``
+        allowed) — the shape ``result.tuning`` picks replay as.  Ignored
+        when ``mode_strategy="dimtree"`` (a string is tolerated there; a
+        per-mode list is an error) and when ``tune=True``.
     mode_strategy:
         ``"per-mode"`` — one independent MTTKRP per mode per iteration
         (the paper's implementation); ``"dimtree"`` — the Phan et al.
@@ -139,13 +150,23 @@ def cp_als(
     verbose:
         Print fit per iteration.
     workspace:
-        Optional :class:`~repro.parallel.workspace.Workspace` for the
-        dimtree strategy's iteration-reused buffers (node buffers, KRP
-        panels, per-worker private outputs).  By default one is created
-        internally and closed when the run finishes; pass your own to
-        inspect its allocation stats (after warm-up, dimtree iterations
-        allocate nothing) or to share buffers across runs on equal
-        shapes.  Ignored by ``mode_strategy="per-mode"``.
+        Optional :class:`~repro.parallel.workspace.Workspace` for
+        iteration-reused buffers: the dimtree strategy's node buffers,
+        KRP panels and per-worker private outputs, the autotuner's
+        measurement scratch (released after tuning so it does not
+        pollute the arena), and any per-mode ``"dimtree"`` picks.  By
+        default one is created internally and closed when the run
+        finishes; pass your own to inspect its allocation stats (after
+        warm-up, iterations allocate nothing) or to share buffers across
+        runs on equal shapes.  Ignored by plain ``mode_strategy="per-mode"``
+        runs that neither tune nor use a dimtree pick.
+    tune:
+        Run the empirical autotuner (:func:`repro.tune.autotune`) once
+        per mode before the iteration loop and use its picks for every
+        iteration (requires ``mode_strategy="per-mode"``; overrides
+        ``method``).  Decisions come from / go to the persisted tuning
+        cache, so only the first run on a new configuration pays
+        measurement time; the picks are recorded in ``result.tuning``.
 
     Returns
     -------
@@ -192,6 +213,20 @@ def cp_als(
             f"mode_strategy must be 'per-mode' or 'dimtree', "
             f"got {mode_strategy!r}"
         )
+    if isinstance(method, str):
+        methods = [method] * N
+    else:
+        if mode_strategy != "per-mode":
+            raise ValueError(
+                "a per-mode method list requires mode_strategy='per-mode'"
+            )
+        methods = [str(m) for m in method]
+        if len(methods) != N:
+            raise ValueError(
+                f"expected {N} per-mode methods, got {len(methods)}"
+            )
+    if tune and mode_strategy != "per-mode":
+        raise ValueError("tune=True requires mode_strategy='per-mode'")
 
     weights = np.ones(rank)
     grams = GramCache(factors)
@@ -223,14 +258,32 @@ def cp_als(
         rank=rank,
         shape=list(tensor.shape),
         mode_strategy=mode_strategy,
-        method=method,
+        method=method if isinstance(method, str) else list(methods),
+        tune=tune,
     ):
-        # Dimension-tree runtime state, acquired once and reused by every
+        # Long-lived runtime state, acquired once and reused by every
         # iteration: the executor team and the workspace arena owning the
         # node buffers, KRP panels and private outputs (zero per-iteration
-        # allocations after the first iteration warms the arena up).
+        # allocations after the first iteration warms the arena up).  The
+        # arena also backs the autotuner's measurement runs and any
+        # per-mode "dimtree" picks.
         ws = None
         own_ws = False
+        executor = None
+        needs_ws = (
+            mode_strategy == "dimtree"
+            or tune
+            or any(spec == "dimtree" for spec in methods)
+        )
+        if needs_ws:
+            from repro.parallel.backend import get_executor
+            from repro.parallel.config import resolve_threads
+            from repro.parallel.workspace import Workspace
+
+            T = resolve_threads(num_threads)
+            executor = get_executor(T) if T > 1 else None
+            ws = workspace if workspace is not None else Workspace(executor)
+            own_ws = workspace is None
         if mode_strategy == "dimtree":
             from repro.core.dimtree import (
                 left_partial,
@@ -238,15 +291,34 @@ def cp_als(
                 right_partial,
                 split_point,
             )
-            from repro.parallel.backend import get_executor
-            from repro.parallel.config import resolve_threads
-            from repro.parallel.workspace import Workspace
 
             m = split_point(N)
-            T = resolve_threads(num_threads)
-            executor = get_executor(T) if T > 1 else None
-            ws = workspace if workspace is not None else Workspace(executor)
-            own_ws = workspace is None
+        mode_kwargs: list[dict] = [{} for _ in range(N)]
+        if tune:
+            # Tune once, before the loop; every iteration then replays
+            # the recorded picks, so the iterates are bit-identical to a
+            # run with an explicit per-mode method list matching them.
+            from repro.tune.tuner import autotune
+
+            records = [
+                autotune(
+                    tensor, factors, n,
+                    num_threads=num_threads, workspace=ws,
+                )
+                for n in range(N)
+            ]
+            result.tuning = records
+            methods = [r.method for r in records]
+            mode_kwargs = [dict(r.kwargs) for r in records]
+            # Measurement scratch is dead weight from here on; drop it so
+            # the arena holds only what the iterations will reuse.
+            ws.release("tune.")
+            if not any(spec == "dimtree" for spec in methods):
+                ws.release("dimtree.")
+        for n in range(N):
+            if methods[n] == "dimtree":
+                mode_kwargs[n]["workspace"] = ws
+                mode_kwargs[n]["executor"] = executor
         try:
             for it in range(n_iter_max):
                 with tracer.span(f"iter[{it}]"):
@@ -259,9 +331,10 @@ def cp_als(
                                     tensor,
                                     factors,
                                     n,
-                                    method=method,
+                                    method=methods[n],
                                     num_threads=num_threads,
                                     timers=timers,
+                                    **mode_kwargs[n],
                                 )
                                 update_mode(n, M, it)
                     else:

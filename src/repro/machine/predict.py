@@ -52,6 +52,7 @@ __all__ = [
     "predict_cpals_iteration",
     "predict_krp_time",
     "predict_stream_time",
+    "predict_mttkrp_candidates",
     "ALGORITHMS",
 ]
 
@@ -249,6 +250,62 @@ def predict_cpals_iteration(
             total += half_len * model.stream_time(per_mode, threads)
         return total
     raise ValueError(f"unknown implementation {implementation!r}")
+
+
+def predict_mttkrp_candidates(
+    model: MachineModel,
+    shape: Sequence[int],
+    n: int,
+    C: int,
+    threads: int,
+) -> dict[str, float]:
+    """Predicted seconds for every *runnable* single-mode MTTKRP candidate.
+
+    This is the autotuner's **prior** (:mod:`repro.tune`): candidate
+    labels map onto the measured candidate set — ``"onestep"``,
+    ``"baseline"``, ``"twostep:left"``/``"twostep:right"`` (internal
+    modes only) and ``"dimtree"`` (the single-mode node path:
+    half-tensor partial contraction + partial KRP + one node
+    contraction).  The model ranks candidates so the tuner measures the
+    plausible ones first and can prune clearly dominated ones; it never
+    replaces measurement, which is the point of the tuner.
+    """
+    shape = tuple(int(s) for s in shape)
+    N = len(shape)
+    external = n == 0 or n == N - 1
+    out: dict[str, float] = {}
+    out["onestep"] = predict_algorithm_time(
+        model, shape, n, C, threads, "onestep"
+    )[0]
+    out["baseline"] = predict_algorithm_time(
+        model, shape, n, C, threads, "baseline"
+    )[0]
+    if not external:
+        for side in ("left", "right"):
+            out[f"twostep:{side}"] = predict_algorithm_time(
+                model, shape, n, C, threads, "twostep", side=side
+            )[0]
+    if N >= 3:
+        from repro.core.dimtree import split_point
+        from repro.core.flops import PhaseCost, gemm_cost
+        from repro.util import prod
+
+        m = split_point(N)
+        if n < m:
+            half, other = shape[:m], shape[m:]
+        else:
+            half, other = shape[m:], shape[:m]
+        half_rows = prod(half)
+        other_rows = prod(other)
+        total = model.blas_time(gemm_cost(half_rows, C, other_rows), threads)
+        total += model.stream_time(krp_cost(list(other), C), threads)
+        node_entries = half_rows * C
+        total += model.stream_time(
+            PhaseCost("gemv", 2.0 * node_entries, node_entries * 8.0, 0.0),
+            threads,
+        )
+        out["dimtree"] = total
+    return out
 
 
 def predict_krp_time(

@@ -20,6 +20,7 @@ See ``docs/observability.md`` for the span model and export formats, and
 
 from repro.obs.export import (
     chrome_trace,
+    counter_total,
     phase_timer_from_trace,
     phase_totals,
     save_chrome_trace,
@@ -50,4 +51,5 @@ __all__ = [
     "summary",
     "phase_totals",
     "phase_timer_from_trace",
+    "counter_total",
 ]

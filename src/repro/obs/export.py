@@ -35,7 +35,23 @@ __all__ = [
     "records_from_events",
     "phase_totals",
     "phase_timer_from_trace",
+    "counter_total",
 ]
+
+
+def counter_total(tracer: Tracer, name: str) -> float:
+    """Sum of counter ``name`` across all spans plus the tracer level.
+
+    Counters recorded while a span was open live on that span
+    (:meth:`~repro.obs.tracer.Span.add`); counters recorded outside any
+    span accumulate on the tracer itself.  A trace-wide total — e.g. the
+    autotuner's ``tune.measure`` / ``tune.cache_hit`` counts, which tests
+    assert on — needs both.
+    """
+    total = float(getattr(tracer, "counters", {}).get(name, 0.0))
+    for span in tracer.spans():
+        total += float(span.counters.get(name, 0.0))
+    return total
 
 
 def _json_default(obj):

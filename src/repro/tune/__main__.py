@@ -1,0 +1,8 @@
+"""``python -m repro.tune`` entry point."""
+
+import sys
+
+from repro.tune.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

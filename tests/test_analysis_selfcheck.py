@@ -5,6 +5,9 @@ introduces a parallel hazard (or an unexplained suppression-free layout
 warning) fails tier-1 here, with the finding's fix-hint in the report.
 """
 
+import os
+import subprocess
+import sys
 from pathlib import Path
 
 from repro.analysis import lint_paths, render_text
@@ -39,3 +42,25 @@ def test_analyzer_sees_the_whole_tree():
     assert {
         "pool.py", "shm.py", "mttkrp_onestep.py", "workspace.py", "dimtree.py"
     } <= names
+    # The autotuner tree is linted too (and, per the suppression
+    # inventory above, contributes zero suppressions of its own).
+    tune_files = {f.name for f in files if f.parent.name == "tune"}
+    assert {"tuner.py", "cache.py", "cli.py"} <= tune_files
+
+
+def test_cli_strict_run_is_clean():
+    # Tier-1 teeth for the CLI itself: `python -m repro.analysis --strict`
+    # over the whole tree must exit 0, exactly as CI invokes it.
+    root = Path(__file__).parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        "src" + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else "src"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--strict", "src/repro"],
+        cwd=root, env=env, capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 error(s)" in proc.stdout

@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.data",
     "repro.bench",
     "repro.util",
+    "repro.tune",
 ]
 
 
