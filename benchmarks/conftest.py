@@ -52,10 +52,23 @@ def record_paper_context(benchmark, **info) -> None:
     benchmark.extra_info.update(info)
 
 
-# Silence benchmark warnings about calibration on very fast kernels.
+def pytest_collection_modifyitems(items) -> None:
+    # Everything under benchmarks/ carries the `bench` marker, so
+    # `pytest -m "not bench"` excludes the slow suite even when invoked
+    # with an explicit path that bypasses testpaths.
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def pytest_benchmark_update_machine_info(config, machine_info):
+    from repro.bench.env import host_fingerprint
+
     machine_info["repro_bench_scale"] = bench_scale()
     machine_info["repro_bench_threads"] = list(bench_threads())
+    # Full provenance (git rev, BLAS threads, host class) embedded in the
+    # pytest-benchmark JSON; repro.bench.report --normalize lifts it into
+    # the normalized records' host field.
+    machine_info["repro_host"] = host_fingerprint()
 
 
 np.random.seed(0)  # some libraries consult the legacy global state

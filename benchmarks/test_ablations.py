@@ -176,6 +176,8 @@ from repro.parallel.reduction import (  # noqa: E402
 )
 from repro.tensor.layout import mode_products  # noqa: E402
 
+pytestmark = pytest.mark.bench
+
 _ACC_SHAPE = scaled_shape((60,) * 5, 8 * bench_scale())
 _ACC_THREADS = 4
 

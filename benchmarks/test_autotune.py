@@ -19,6 +19,8 @@ from benchmarks.conftest import bench_threads, cached_problem, record_paper_cont
 from repro.core.dispatch import mttkrp
 from repro.tune import TuningCache, autotune, reset_cache
 
+pytestmark = pytest.mark.bench
+
 _SHAPE = (48, 32, 24)
 _RANK = 16
 _T = max(bench_threads())

@@ -19,6 +19,8 @@ from repro.core.krp_parallel import khatri_rao_parallel
 from repro.data.workloads import FIG4_WORKLOADS
 from repro.util import prod
 
+pytestmark = pytest.mark.bench
+
 _THREADS = bench_threads()
 
 

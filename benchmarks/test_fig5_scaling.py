@@ -22,6 +22,8 @@ from repro.core.dispatch import mttkrp
 from repro.core.mttkrp_baseline import mttkrp_gemm_lower_bound
 from repro.data.workloads import FIG5_WORKLOADS
 
+pytestmark = pytest.mark.bench
+
 _THREADS = bench_threads()
 
 

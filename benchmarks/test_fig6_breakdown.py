@@ -16,6 +16,8 @@ from repro.core.dispatch import mttkrp
 from repro.data.workloads import FIG5_WORKLOADS
 from repro.util.timing import PhaseTimer
 
+pytestmark = pytest.mark.bench
+
 
 @pytest.mark.parametrize("wl", FIG5_WORKLOADS, ids=lambda w: f"N{w.N}")
 @pytest.mark.parametrize("algorithm", ["onestep", "twostep"])

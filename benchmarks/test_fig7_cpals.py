@@ -19,6 +19,8 @@ from repro.data.workloads import FMRI_REDUCED_4D
 from repro.reference.tensor_toolbox import cp_als_ttb
 from repro.tensor.generate import random_factors
 
+pytestmark = pytest.mark.bench
+
 _THREADS = bench_threads()
 _RANKS = (10, 20, 30)  # subset of the paper's {10,15,20,25,30} grid
 

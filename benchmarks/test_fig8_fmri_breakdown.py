@@ -20,6 +20,8 @@ from repro.data.workloads import FMRI_REDUCED_4D
 from repro.tensor.generate import random_factors
 from repro.util.timing import PhaseTimer
 
+pytestmark = pytest.mark.bench
+
 _cache: dict = {}
 
 

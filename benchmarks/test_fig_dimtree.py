@@ -34,6 +34,8 @@ from repro.data.workloads import FMRI_REDUCED_4D
 from repro.parallel.workspace import Workspace
 from repro.tensor.generate import random_factors
 
+pytestmark = pytest.mark.bench
+
 _THREADS = bench_threads()
 _RANK = 20  # mid-point of the paper's C grid; deep enough to batch over
 

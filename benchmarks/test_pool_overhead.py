@@ -17,6 +17,8 @@ from benchmarks.conftest import bench_threads, cached_problem, record_paper_cont
 from repro.parallel.pool import get_pool
 from repro.parallel.reduction import allocate_private, parallel_reduce
 
+pytestmark = pytest.mark.bench
+
 _THREADS = [t for t in bench_threads() if t > 1] or [2]
 
 

@@ -552,13 +552,26 @@ def main(argv: Sequence[str] | None = None) -> int:
             import io
             import pathlib
 
+            from repro.bench.env import provenance_header
+
             buf = io.StringIO()
             _FIGURES[name](out=buf, **kwargs)
             text = buf.getvalue()
             sys.stdout.write(text)
             directory = pathlib.Path(args.output)
             directory.mkdir(parents=True, exist_ok=True)
-            (directory / f"{name}.txt").write_text(text)
+            header = provenance_header(
+                scale=args.scale,
+                threads=args.threads,
+                extra={
+                    "figure": name,
+                    "repeats": args.repeats,
+                    "rng": args.rng,
+                    "measured": not args.no_measured,
+                    "modeled": not args.no_modeled,
+                },
+            )
+            (directory / f"{name}.txt").write_text(header + text)
         else:
             _FIGURES[name](**kwargs)
     return 0

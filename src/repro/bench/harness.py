@@ -1,21 +1,35 @@
-"""Measured experiment runners for the figure drivers.
+"""Measured experiment runners for the figure drivers and the registry.
 
 Each ``run_*_point`` function measures one point of one figure (a specific
-algorithm / workload / thread count) and returns a small result record; the
-figure drivers in :mod:`repro.bench.figures` assemble those into the
-paper's tables.  All runners accept preconstructed inputs where reuse
-matters so repeated timings measure the kernel, not setup.
+algorithm / workload / thread count) and returns a small result record;
+the figure drivers in :mod:`repro.bench.figures` assemble those into the
+paper's tables, and the registry runners in :mod:`repro.bench.suites`
+convert them into normalized schema records.  All runners accept
+preconstructed inputs where reuse matters so repeated timings measure the
+kernel, not setup.
+
+Since the registry refactor every point carries, beyond the headline
+``seconds``:
+
+* ``stats`` — the full timing distribution (mean/median/min/max/std over
+  the repeats), feeding ``timing`` in the normalized schema;
+* ``counters`` — analytic FLOP/byte totals, GEMM/GEMV call counts and
+  per-region load imbalance captured by running one instrumented
+  repetition under a private :func:`repro.obs.capture` tracer (the
+  measured repetitions themselves stay untraced, so instrumentation
+  cannot skew the timings).
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.bench.stream import stream_buffers, stream_scale
-from repro.bench.timing import mean_time, median_time
+from repro.bench.timing import time_samples
 from repro.core.dispatch import mttkrp
 from repro.core.krp_parallel import khatri_rao_parallel
 from repro.core.mttkrp_baseline import mttkrp_gemm_lower_bound
@@ -37,6 +51,19 @@ __all__ = [
 ]
 
 
+def _stats_from_samples(samples: Sequence[float]) -> dict:
+    from repro.bench.schema import timing_from_stats
+
+    return timing_from_stats(samples)
+
+
+def _captured_counters(fn: Callable[[], object]) -> dict[str, float]:
+    """Counters from one instrumented invocation of ``fn``."""
+    with obs.capture() as tracer:
+        fn()
+    return obs.counters_snapshot(tracer)
+
+
 @dataclass(frozen=True)
 class KRPPoint:
     """One measured Figure 4 point."""
@@ -47,6 +74,8 @@ class KRPPoint:
     rows: int
     threads: int
     seconds: float
+    stats: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -60,6 +89,8 @@ class MTTKRPPoint:
     threads: int
     seconds: float
     phases: dict[str, float] = field(default_factory=dict)
+    stats: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -72,6 +103,8 @@ class CPALSPoint:
     threads: int
     seconds_per_iteration: float
     final_fit: float
+    stats: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
 
 
 def run_krp_point(
@@ -89,14 +122,16 @@ def run_krp_point(
     def kernel() -> None:
         khatri_rao_parallel(mats, num_threads=threads, out=out, schedule=schedule)
 
-    seconds = mean_time(kernel, repeats=repeats)
+    samples = time_samples(kernel, repeats=repeats)
     return KRPPoint(
         schedule=schedule,
         Z=len(mats),
         C=C,
         rows=rows,
         threads=threads,
-        seconds=seconds,
+        seconds=float(np.mean(samples)),
+        stats=_stats_from_samples(samples),
+        counters=_captured_counters(kernel),
     )
 
 
@@ -107,14 +142,16 @@ def run_stream_point(entries: int, C: int, threads: int, repeats: int = 3) -> KR
     def kernel() -> None:
         stream_scale(src, dst, num_threads=threads)
 
-    seconds = mean_time(kernel, repeats=repeats)
+    samples = time_samples(kernel, repeats=repeats)
     return KRPPoint(
         schedule="stream",
         Z=0,
         C=C,
         rows=int(entries),
         threads=threads,
-        seconds=seconds,
+        seconds=float(np.mean(samples)),
+        stats=_stats_from_samples(samples),
+        counters=_captured_counters(kernel),
     )
 
 
@@ -128,25 +165,25 @@ def run_mttkrp_point(
 ) -> MTTKRPPoint:
     """Measure one MTTKRP configuration (Figure 5 protocol: median of k).
 
-    The phase breakdown of the *last* repetition is attached (Figure 6/8);
-    phases of warmup runs are discarded.
+    The phase breakdown and obs counters of one extra instrumented
+    repetition are attached (Figure 6/8); the timed repetitions run
+    untraced.
     """
     C = np.asarray(factors[0]).shape[1]
     scratch: dict = {}
 
     if algorithm == "gemm-baseline":
 
-        def kernel_warm() -> None:
+        def kernel() -> None:
             mttkrp_gemm_lower_bound(
                 tensor, factors, mode, num_threads=threads, _scratch=scratch
             )
 
-        seconds = median_time(kernel_warm, repeats=repeats)
-        timer = PhaseTimer()
-        mttkrp_gemm_lower_bound(
-            tensor, factors, mode, num_threads=threads,
-            timers=timer, _scratch=scratch,
-        )
+        def instrumented(timer: PhaseTimer) -> None:
+            mttkrp_gemm_lower_bound(
+                tensor, factors, mode, num_threads=threads,
+                timers=timer, _scratch=scratch,
+            )
     else:
 
         def kernel() -> None:
@@ -154,20 +191,25 @@ def run_mttkrp_point(
                 tensor, factors, mode, method=algorithm, num_threads=threads
             )
 
-        seconds = median_time(kernel, repeats=repeats)
-        timer = PhaseTimer()
-        mttkrp(
-            tensor, factors, mode, method=algorithm,
-            num_threads=threads, timers=timer,
-        )
+        def instrumented(timer: PhaseTimer) -> None:
+            mttkrp(
+                tensor, factors, mode, method=algorithm,
+                num_threads=threads, timers=timer,
+            )
+
+    samples = time_samples(kernel, repeats=repeats)
+    timer = PhaseTimer()
+    counters = _captured_counters(lambda: instrumented(timer))
     return MTTKRPPoint(
         algorithm=algorithm,
         shape=tensor.shape,
         mode=int(mode),
         C=int(C),
         threads=int(threads),
-        seconds=seconds,
+        seconds=float(np.median(samples)),
         phases=timer.snapshot(),
+        stats=_stats_from_samples(samples),
+        counters=counters,
     )
 
 
@@ -183,36 +225,39 @@ def run_cpals_point(
 
     Both implementations get identical random initial factors so they do
     identical arithmetic per iteration; ``tol=0``-style fixed iteration
-    counts make the per-iteration average well-defined.
+    counts make the per-iteration average well-defined.  The whole
+    measured run executes under a capture tracer, so the attached
+    counters are totals over all ``iterations``.
     """
     init = random_factors(tensor.shape, rank, rng=rng)
-    if implementation in ("repro", "dimtree"):
-        res = cp_als(
-            tensor,
-            rank,
-            n_iter_max=iterations,
-            tol=0.0,
-            init=init,
-            num_threads=threads,
-            mode_strategy=(
-                "dimtree" if implementation == "dimtree" else "per-mode"
-            ),
-        )
-        per_iter = res.mean_iteration_time
-        fit = res.final_fit
-    elif implementation == "ttb":
-        res = cp_als_ttb(
-            tensor,
-            rank,
-            n_iter_max=iterations,
-            tol=0.0,
-            init=init,
-            num_threads=threads,
-        )
-        per_iter = res.mean_iteration_time
-        fit = res.final_fit
-    else:
-        raise ValueError(f"unknown implementation {implementation!r}")
+    with obs.capture() as tracer:
+        if implementation in ("repro", "dimtree"):
+            res = cp_als(
+                tensor,
+                rank,
+                n_iter_max=iterations,
+                tol=0.0,
+                init=init,
+                num_threads=threads,
+                mode_strategy=(
+                    "dimtree" if implementation == "dimtree" else "per-mode"
+                ),
+            )
+            per_iter = res.mean_iteration_time
+            fit = res.final_fit
+        elif implementation == "ttb":
+            res = cp_als_ttb(
+                tensor,
+                rank,
+                n_iter_max=iterations,
+                tol=0.0,
+                init=init,
+                num_threads=threads,
+            )
+            per_iter = res.mean_iteration_time
+            fit = res.final_fit
+        else:
+            raise ValueError(f"unknown implementation {implementation!r}")
     return CPALSPoint(
         implementation=implementation,
         shape=tensor.shape,
@@ -220,4 +265,10 @@ def run_cpals_point(
         threads=int(threads),
         seconds_per_iteration=per_iter,
         final_fit=fit,
+        stats={
+            "mean_s": float(per_iter),
+            "median_s": float(per_iter),
+            "repeats": int(iterations),
+        },
+        counters=obs.counters_snapshot(tracer),
     )

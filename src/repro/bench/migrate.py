@@ -1,0 +1,183 @@
+"""One-shot migration of the legacy ad-hoc result files.
+
+PRs 2, 4 and 5 left three mutually incompatible hand-distilled JSON
+files in ``results/`` (``BENCH_backend.json``, ``BENCH_dimtree.json``,
+``BENCH_tune.json``).  This module converts them into the normalized
+:mod:`repro.bench.schema` records — so those measurements survive as
+trend baselines — and parks the originals under ``results/archive/``.
+
+Case ids are mapped onto the *current* registry case vocabulary wherever
+a counterpart exists (e.g. legacy ``backend-krp``/``thread`` becomes
+``pool-overhead`` case ``backend-krp/thread/T2``), because the trend
+tracker matches on ``(benchmark, case, host_class)`` exactly; legacy
+cases with no modern counterpart keep a legacy-shaped id rather than
+being dropped.  The original case name and file are preserved in
+``context`` for archaeology.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+
+from repro.bench.schema import new_record, write_results
+
+__all__ = ["migrate_results", "LEGACY_FILES"]
+
+#: legacy filename -> (registry benchmark id, output filename)
+LEGACY_FILES = {
+    "BENCH_backend.json": ("pool-overhead", "backend.bench.json"),
+    "BENCH_dimtree.json": ("dimtree", "dimtree.bench.json"),
+    "BENCH_tune.json": ("autotune", "tune.bench.json"),
+}
+
+
+def _timing(entry: dict) -> dict:
+    """Timing block from a legacy ``{mean_s, median_s, min_s, rounds}``."""
+    return {
+        "mean_s": entry.get("mean_s"),
+        "median_s": entry.get("median_s", entry.get("mean_s")),
+        "min_s": entry.get("min_s"),
+        "repeats": entry.get("rounds"),
+    }
+
+
+def _record(benchmark, case, entry, *, params, host, legacy_file, legacy_case):
+    return new_record(
+        benchmark,
+        case,
+        timing=_timing(entry),
+        params=params,
+        host=host,
+        context={
+            "source": "migrated",
+            "legacy_file": legacy_file,
+            "legacy_case": legacy_case,
+        },
+    )
+
+
+def _convert_backend(doc: dict, legacy_file: str) -> list[dict]:
+    host = doc["host"]
+    T = int(doc.get("workers", 2))
+    records = []
+    for legacy_case, entry in doc["cases"].items():
+        for backend in ("thread", "process"):
+            timing = entry.get(backend)
+            if not isinstance(timing, dict):
+                continue
+            # legacy "backend-overhead" is today's backend-region case
+            stem = ("backend-region" if legacy_case == "backend-overhead"
+                    else legacy_case)
+            records.append(_record(
+                "pool-overhead", f"{stem}/{backend}/T{T}", timing,
+                params={"backend": backend,
+                        "threads": int(timing.get("threads", T))},
+                host=host, legacy_file=legacy_file, legacy_case=legacy_case,
+            ))
+    return records
+
+
+def _convert_dimtree(doc: dict, legacy_file: str) -> list[dict]:
+    host = doc["host"]
+    records = []
+    for legacy_case, entry in doc["cases"].items():
+        if legacy_case.startswith("cpals-"):
+            # "cpals-3D-T1" -> kind "cpals-3D", strategies per-mode/dimtree
+            kind, _, tpart = legacy_case.rpartition("-")
+            for strategy in ("per-mode", "dimtree"):
+                timing = entry.get(strategy)
+                if not isinstance(timing, dict):
+                    continue
+                T = int(timing.get("threads", 1))
+                records.append(_record(
+                    "dimtree", f"{kind}/{strategy}/T{T}", timing,
+                    params={"shape": entry.get("shape"),
+                            "rank": entry.get("rank"),
+                            "strategy": strategy, "threads": T},
+                    host=host, legacy_file=legacy_file,
+                    legacy_case=legacy_case,
+                ))
+        elif legacy_case.startswith("node-mttkrp"):
+            for variant in ("columnwise", "batched"):
+                timing = entry.get(variant)
+                if not isinstance(timing, dict):
+                    continue
+                T = int(timing.get("threads", 1))
+                # single-thread node cases match the suite's "node/<variant>"
+                case = (f"node/{variant}" if T == 1
+                        else f"node/{variant}/T{T}")
+                records.append(_record(
+                    "dimtree", case, timing,
+                    params={"shape": entry.get("shape"),
+                            "rank": entry.get("rank"),
+                            "variant": variant, "threads": T},
+                    host=host, legacy_file=legacy_file,
+                    legacy_case=legacy_case,
+                ))
+    return records
+
+
+def _convert_tune(doc: dict, legacy_file: str) -> list[dict]:
+    host = doc["host"]
+    # legacy pytest-parametrized names -> current suite case ids
+    case_map = {
+        "cold_tuning_cost": "cold",
+        "warm_dispatch_overhead": "warm",
+        "static_policy_vs_tuned_pick[auto]": "policy/auto",
+        "static_policy_vs_tuned_pick[autotune]": "policy/autotune",
+    }
+    records = []
+    for legacy_case, entry in doc["cases"].items():
+        case = case_map.get(legacy_case, legacy_case)
+        params = dict(entry.get("extra") or {})
+        params.setdefault("shape", doc.get("shape"))
+        params.setdefault("rank", doc.get("rank"))
+        records.append(_record(
+            "autotune", case, entry,
+            params=params, host=host,
+            legacy_file=legacy_file, legacy_case=legacy_case,
+        ))
+    return records
+
+
+_CONVERTERS = {
+    "BENCH_backend.json": _convert_backend,
+    "BENCH_dimtree.json": _convert_dimtree,
+    "BENCH_tune.json": _convert_tune,
+}
+
+
+def migrate_results(
+    results_dir: str,
+    *,
+    archive: bool = True,
+) -> list[str]:
+    """Convert every legacy ``BENCH_*.json`` found in ``results_dir``.
+
+    Writes the normalized ``*.bench.json`` next to them, moves the
+    originals to ``results_dir/archive/`` (when ``archive``), and returns
+    the paths written.  Already-migrated directories are a no-op.
+    """
+    written: list[str] = []
+    for legacy_name, (benchmark, out_name) in LEGACY_FILES.items():
+        legacy_path = os.path.join(results_dir, legacy_name)
+        if not os.path.exists(legacy_path):
+            continue
+        with open(legacy_path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        records = _CONVERTERS[legacy_name](doc, legacy_name)
+        out_path = os.path.join(results_dir, out_name)
+        write_results(out_path, records, meta={
+            "benchmark": benchmark,
+            "migrated_from": legacy_name,
+            "legacy_description": doc.get("benchmark"),
+            "interpretation": doc.get("interpretation"),
+        })
+        written.append(out_path)
+        if archive:
+            archive_dir = os.path.join(results_dir, "archive")
+            os.makedirs(archive_dir, exist_ok=True)
+            shutil.move(legacy_path, os.path.join(archive_dir, legacy_name))
+    return written

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-__all__ = ["line_chart", "stacked_bar_chart"]
+__all__ = ["line_chart", "stacked_bar_chart", "ratio_chart"]
 
 _MARKERS = "ox+*#@%&"
 
@@ -163,4 +163,39 @@ def stacked_bar_chart(
         lines.append(f"{label:>{label_w}} |{bar:<{width}}| {total:.4g}s")
     legend = "   ".join(f"{symbols[p]} {p}" for p in phases)
     lines.append(f"{'':{label_w}}  {legend}")
+    return "\n".join(lines)
+
+
+def ratio_chart(
+    title: str,
+    ratios: dict[str, float],
+    width: int = 40,
+    ratio_max: float = 2.0,
+) -> str:
+    """Render current/baseline ratios around a ``1.0x`` pivot column.
+
+    The trend report's visual: bars to the right of the pivot are
+    slowdowns, bars to the left are speedups, so a wall of ``>`` is
+    immediately legible as "this PR got slower".  Ratios beyond
+    ``ratio_max`` (or below its reciprocal) are clamped and annotated
+    with their numeric value, which is always printed.
+    """
+    if not ratios:
+        raise ValueError("ratios must be non-empty")
+    half = width // 2
+    label_w = max(len(k) for k in ratios)
+    lines = [title]
+    for label, ratio in ratios.items():
+        if ratio <= 0:
+            raise ValueError(f"ratio for {label!r} must be positive")
+        if ratio >= 1.0:
+            frac = min((ratio - 1.0) / (ratio_max - 1.0), 1.0)
+            cells = round(frac * half)
+            bar = " " * half + "|" + ">" * cells + " " * (half - cells)
+        else:
+            frac = min((1.0 / ratio - 1.0) / (ratio_max - 1.0), 1.0)
+            cells = round(frac * half)
+            bar = (" " * (half - cells) + "<" * cells + "|" + " " * half)
+        lines.append(f"{label:>{label_w}} {bar} {ratio:.2f}x")
+    lines.append(f"{'':{label_w}} {'faster':>{half}}|{'slower':<{half}}")
     return "\n".join(lines)

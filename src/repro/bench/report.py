@@ -9,6 +9,11 @@ algorithm, threads, phase breakdowns) to every record via
 this module (also a CLI: ``python -m repro.bench.report bench.json``)
 groups the records by figure/ablation and prints per-figure comparison
 tables — the machine-readable complement to ``repro.bench.figures``.
+
+``--normalize OUT.bench.json`` additionally converts the pytest-benchmark
+records into the normalized :mod:`repro.bench.schema`, so a pytest run
+can feed the same ``results/`` history and :mod:`repro.bench.trend`
+scoreboard as ``repro-bench run``.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ import sys
 from collections import defaultdict
 from collections.abc import Sequence
 
-__all__ = ["load_records", "summarize", "main"]
+__all__ = ["load_records", "summarize", "normalize_records", "main"]
 
 
 def load_records(path_or_dict) -> list[dict]:
@@ -91,14 +96,75 @@ def summarize(records: Sequence[dict], out=None) -> None:
             )
 
 
+def normalize_records(path_or_dict) -> list[dict]:
+    """Pytest-benchmark JSON → normalized :mod:`repro.bench.schema` records.
+
+    The benchmark id is the record's ``figure``/``ablation`` tag; the case
+    is the pytest node name (stable across runs for the same parametrize
+    grid).  The host fingerprint comes from the ``repro_host`` block the
+    ``benchmarks/`` conftest injects into ``machine_info``, so records
+    normalized later still carry the *measuring* host, not the converting
+    one.
+    """
+    from repro.bench.schema import new_record
+
+    if isinstance(path_or_dict, dict):
+        doc = path_or_dict
+    else:
+        with open(path_or_dict) as fh:
+            doc = json.load(fh)
+    host = (doc.get("machine_info") or {}).get("repro_host")
+    records = []
+    for b in doc.get("benchmarks", []):
+        extra = b.get("extra_info", {}) or {}
+        stats = b.get("stats", {})
+        benchmark_id = extra.get("figure") or extra.get("ablation") or "pytest"
+        params = {
+            k: v for k, v in extra.items()
+            if k not in ("figure", "phase_seconds", "phase_fractions")
+        }
+        phases = extra.get("phase_seconds")
+        records.append(new_record(
+            str(benchmark_id),
+            b.get("name", "?"),
+            timing={
+                "mean_s": stats.get("mean"),
+                "median_s": stats.get("median"),
+                "min_s": stats.get("min"),
+                "max_s": stats.get("max"),
+                "std_s": stats.get("stddev"),
+                "repeats": stats.get("rounds"),
+            },
+            params=params,
+            host=host,
+            context={"source": "pytest-benchmark"},
+            phases=phases if isinstance(phases, dict) else None,
+        ))
+    return records
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.report",
         description="Summarize a pytest-benchmark JSON file by figure.",
     )
     parser.add_argument("json_path", help="output of --benchmark-json")
+    parser.add_argument(
+        "--normalize",
+        metavar="OUT",
+        help="also convert the records into a normalized *.bench.json "
+             "results file at OUT (schema usable by repro-bench trend)",
+    )
     args = parser.parse_args(argv)
     summarize(load_records(args.json_path))
+    if args.normalize:
+        from repro.bench.schema import write_results
+
+        records = normalize_records(args.json_path)
+        write_results(args.normalize, records,
+                      meta={"source": "pytest-benchmark",
+                            "input": args.json_path})
+        print(f"\n{len(records)} normalized record(s) -> {args.normalize}")
     return 0
 
 

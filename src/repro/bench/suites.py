@@ -1,0 +1,426 @@
+"""Registered benchmark suites: the registry's name → runner bindings.
+
+Each runner measures a bounded, representative set of points for its
+benchmark at the requested ``scale`` (volumetric fraction of the paper
+workload) and returns normalized schema records.  Exhaustive sweeps
+remain available through the figure drivers
+(``python -m repro.bench.figures``) and the pytest-benchmark suite under
+``benchmarks/``; the registry's job is a *stable, comparable* set of
+cases the trend tracker can diff across PRs.
+
+Case ids are contract: ``repro.bench.trend`` matches history on
+``(benchmark, case, host_class)``, so renaming a case silently orphans
+its baselines.  Add cases freely; rename them only with a migration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import (
+    run_cpals_point,
+    run_krp_point,
+    run_mttkrp_point,
+    run_stream_point,
+)
+from repro.bench.registry import measure_case, register
+from repro.bench.schema import record_from_point
+from repro.data.fmri import synthetic_fmri
+from repro.data.workloads import (
+    FIG4_WORKLOADS,
+    FIG5_WORKLOADS,
+    FIG7_RANKS,
+    FMRI_PAPER_4D,
+    FMRI_REDUCED_4D,
+    scaled_shape,
+)
+from repro.tensor.generate import random_factors, random_tensor
+
+__all__: list[str] = []
+
+
+def _mttkrp_algorithms(N: int, n: int) -> list[str]:
+    algos = ["onestep"]
+    if 0 < n < N - 1:
+        algos.append("twostep")
+    algos.append("gemm-baseline")
+    return algos
+
+
+# --------------------------------------------------------------------- #
+# Paper figures
+# --------------------------------------------------------------------- #
+
+
+@register(
+    "fig4",
+    title="Figure 4: KRP reuse vs naive vs STREAM",
+    tags=("figure", "krp"),
+    default_scale=0.01,
+)
+def _run_fig4(scale, threads, repeats, rng):
+    records = []
+    for wl in FIG4_WORKLOADS:
+        dims = wl.dims(scale)
+        gen = np.random.default_rng(rng)
+        mats = [gen.random((d, wl.C)) for d in dims]
+        rows_total = int(np.prod([m.shape[0] for m in mats]))
+        for T in threads:
+            for schedule in ("reuse", "naive"):
+                point = run_krp_point(mats, T, schedule, repeats)
+                records.append(record_from_point(
+                    "fig4",
+                    f"Z{wl.Z}-C{wl.C}/{schedule}/T{T}",
+                    point,
+                    params={"Z": wl.Z, "C": wl.C, "rows": rows_total,
+                            "threads": T, "schedule": schedule},
+                ))
+            stream = run_stream_point(rows_total, wl.C, T, repeats)
+            records.append(record_from_point(
+                "fig4",
+                f"Z{wl.Z}-C{wl.C}/stream/T{T}",
+                stream,
+                params={"Z": wl.Z, "C": wl.C, "rows": rows_total,
+                        "threads": T, "schedule": "stream"},
+            ))
+    return records
+
+
+def _fig5_modes(N: int) -> list[int]:
+    """One external plus one internal representative mode."""
+    internal = N // 2 if 0 < N // 2 < N - 1 else (1 if N > 2 else 0)
+    return sorted({0, internal})
+
+
+@register(
+    "fig5",
+    title="Figure 5: MTTKRP 1-step/2-step/baseline vs threads",
+    tags=("figure", "mttkrp"),
+    default_scale=0.005,
+)
+def _run_fig5(scale, threads, repeats, rng):
+    records = []
+    for wl in FIG5_WORKLOADS:
+        shape = wl.shape(scale)
+        X = random_tensor(shape, rng=rng)
+        U = random_factors(shape, wl.C, rng=rng + 1)
+        for n in _fig5_modes(wl.N):
+            for algo in _mttkrp_algorithms(wl.N, n):
+                for T in threads:
+                    point = run_mttkrp_point(X, U, n, algo, T, repeats)
+                    records.append(record_from_point(
+                        "fig5",
+                        f"N{wl.N}/n{n}/{algo}/T{T}",
+                        point,
+                        params={"N": wl.N, "shape": list(shape),
+                                "C": wl.C, "mode": n, "algorithm": algo,
+                                "threads": T},
+                    ))
+    return records
+
+
+def _breakdown_records(bench_id, shapes_and_names, C, threads, repeats, rng):
+    records = []
+    for shape, name in shapes_and_names:
+        X = random_tensor(shape, rng=rng)
+        U = random_factors(shape, C, rng=rng + 1)
+        for n in range(len(shape)):
+            for algo in _mttkrp_algorithms(len(shape), n):
+                for T in threads:
+                    point = run_mttkrp_point(X, U, n, algo, T, repeats)
+                    records.append(record_from_point(
+                        bench_id,
+                        f"{name}/n{n}/{algo}/T{T}",
+                        point,
+                        params={"workload": name, "shape": list(shape),
+                                "C": C, "mode": n, "algorithm": algo,
+                                "threads": T},
+                    ))
+    return records
+
+
+@register(
+    "fig6",
+    title="Figure 6: MTTKRP phase breakdown, N=3..6",
+    tags=("figure", "mttkrp", "breakdown"),
+    default_scale=0.002,
+)
+def _run_fig6(scale, threads, repeats, rng):
+    shapes = [(wl.shape(scale), f"N{wl.N}") for wl in FIG5_WORKLOADS]
+    return _breakdown_records("fig6", shapes, 25, threads, repeats, rng)
+
+
+def _fmri_shapes(paper: bool) -> list[tuple[tuple[int, ...], str]]:
+    dims = FMRI_PAPER_4D if paper else FMRI_REDUCED_4D
+    t, s, r, _ = dims
+    pairs = r * (r - 1) // 2
+    return [((t, s, pairs), "3D"), (dims, "4D")]
+
+
+@register(
+    "fig7",
+    title="Figure 7: CP-ALS per-iteration time vs TTB reference",
+    tags=("figure", "cpals"),
+    default_scale=0.1,
+)
+def _run_fig7(scale, threads, repeats, rng):
+    t, s, r, _ = FMRI_PAPER_4D if scale >= 1.0 else FMRI_REDUCED_4D
+    data = synthetic_fmri(t, s, r, rank=5, rng=rng)
+    tensors = [(data.to_3way(), "3D"), (data.tensor, "4D")]
+    ranks = (min(FIG7_RANKS), max(FIG7_RANKS))
+    records = []
+    for X, kind in tensors:
+        for rank in ranks:
+            for impl in ("repro", "dimtree", "ttb"):
+                for T in threads:
+                    point = run_cpals_point(
+                        X, rank, impl, T, iterations=max(repeats, 2), rng=rng
+                    )
+                    records.append(record_from_point(
+                        "fig7",
+                        f"{kind}/C{rank}/{impl}/T{T}",
+                        point,
+                        params={"tensor": kind, "shape": list(X.shape),
+                                "rank": rank, "implementation": impl,
+                                "threads": T},
+                    ))
+    return records
+
+
+@register(
+    "fig8",
+    title="Figure 8: MTTKRP phase breakdown on the fMRI tensors",
+    tags=("figure", "mttkrp", "breakdown"),
+    default_scale=0.1,
+)
+def _run_fig8(scale, threads, repeats, rng):
+    return _breakdown_records(
+        "fig8", _fmri_shapes(paper=scale >= 1.0), 25, threads, repeats, rng
+    )
+
+
+# --------------------------------------------------------------------- #
+# Dimension tree (PR 4)
+# --------------------------------------------------------------------- #
+
+
+@register(
+    "dimtree",
+    title="Dimension-tree CP-ALS vs per-mode; batched vs column-wise node MTTKRP",
+    tags=("cpals", "dimtree"),
+    default_scale=0.1,
+)
+def _run_dimtree(scale, threads, repeats, rng):
+    from repro.core.dimtree import (
+        left_partial,
+        node_mttkrp,
+        node_mttkrp_columnwise,
+        split_point,
+    )
+    from repro.cpd.cp_als import cp_als
+    from repro.parallel.workspace import Workspace
+
+    rank = 20
+    t, s, r, _ = FMRI_PAPER_4D if scale >= 1.0 else FMRI_REDUCED_4D
+    data = synthetic_fmri(t, s, r, rank=5, rng=rng)
+    tensors = [(data.to_3way(), "3D"), (data.tensor, "4D")]
+    records = []
+    for X, kind in tensors:
+        init = random_factors(X.shape, rank, rng=rng + 1)
+        for strategy in ("per-mode", "dimtree"):
+            for T in threads:
+                def one_iteration(X=X, init=init, T=T, strategy=strategy):
+                    cp_als(X, rank, n_iter_max=1, tol=0.0, init=init,
+                           num_threads=T, mode_strategy=strategy)
+
+                records.append(measure_case(
+                    "dimtree",
+                    f"cpals-{kind}/{strategy}/T{T}",
+                    one_iteration,
+                    params={"tensor": kind, "shape": list(X.shape),
+                            "rank": rank, "strategy": strategy, "threads": T},
+                    repeats=repeats,
+                ))
+    # Second level in isolation: one warm left-partial node of the 4-way.
+    X4 = data.tensor
+    m = split_point(X4.ndim)
+    factors = random_factors(X4.shape, rank, rng=rng + 2)
+    node = left_partial(X4, factors, m, num_threads=1)
+    facs = factors[:m]
+    records.append(measure_case(
+        "dimtree", "node/columnwise",
+        lambda: node_mttkrp_columnwise(node, facs, 0),
+        params={"shape": list(node.shape), "rank": rank,
+                "implementation": "columnwise", "threads": 1},
+        repeats=repeats,
+    ))
+    with Workspace() as ws:
+        records.append(measure_case(
+            "dimtree", "node/batched",
+            lambda: node_mttkrp(node, facs, 0, num_threads=1, workspace=ws),
+            params={"shape": list(node.shape), "rank": rank,
+                    "implementation": "batched", "threads": 1},
+            repeats=repeats,
+        ))
+    return records
+
+
+# --------------------------------------------------------------------- #
+# Autotuner economics (PR 5)
+# --------------------------------------------------------------------- #
+
+
+@register(
+    "autotune",
+    title="Autotuner economics: cold tuning cost, warm hit, policy vs pick",
+    tags=("tune",),
+    default_scale=1.0,
+)
+def _run_autotune(scale, threads, repeats, rng):
+    from repro.core.dispatch import mttkrp
+    from repro.tune import TuningCache, autotune
+
+    shape = scaled_shape((48, 32, 24), scale)
+    rank = 16
+    T = max(threads)
+    X = random_tensor(shape, rng=rng)
+    U = random_factors(shape, rank, rng=rng + 1)
+    records = []
+
+    def cold():
+        cache = TuningCache(None)  # fresh every round: always a miss
+        autotune(X, U, 1, num_threads=T, cache=cache, repeats=1)
+
+    records.append(measure_case(
+        "autotune", "cold",
+        cold,
+        params={"shape": list(shape), "rank": rank, "threads": T},
+        repeats=repeats,
+    ))
+
+    warm_cache = TuningCache(None)
+    pick = autotune(X, U, 1, num_threads=T, cache=warm_cache, repeats=1)
+    records.append(measure_case(
+        "autotune", "warm",
+        lambda: autotune(X, U, 1, num_threads=T, cache=warm_cache),
+        params={"shape": list(shape), "rank": rank, "threads": T,
+                "pick": pick.label},
+        repeats=repeats,
+    ))
+
+    for method in ("auto", "autotune"):
+        if method == "autotune":
+            mttkrp(X, U, 1, method="autotune", num_threads=T)  # warm the cache
+        records.append(measure_case(
+            "autotune", f"policy/{method}",
+            lambda method=method: mttkrp(X, U, 1, method=method, num_threads=T),
+            params={"shape": list(shape), "rank": rank, "threads": T,
+                    "method": method},
+            repeats=repeats,
+        ))
+    return records
+
+
+# --------------------------------------------------------------------- #
+# Parallel-runtime substrate (PR 2)
+# --------------------------------------------------------------------- #
+
+
+@register(
+    "pool-overhead",
+    title="Pool/backend substrate: region launch, reduction, backend costs",
+    tags=("parallel",),
+    default_scale=1.0,
+    default_repeats=5,
+)
+def _run_pool_overhead(scale, threads, repeats, rng):
+    from repro.core.krp_parallel import khatri_rao_parallel
+    from repro.parallel.backend import get_executor
+    from repro.parallel.pool import get_pool
+    from repro.parallel.reduction import allocate_private, parallel_reduce
+
+    records = []
+    multi = [t for t in threads if t > 1] or [2]
+    for T in multi:
+        pool = get_pool(T)
+        records.append(measure_case(
+            "pool-overhead", f"region-launch/T{T}",
+            lambda pool=pool, T=T: pool.parallel_for(lambda t, a, b: None, T),
+            params={"threads": T}, repeats=repeats,
+        ))
+        buffers = allocate_private(T, (256, 25))
+
+        def reduce_kernel(buffers=buffers, pool=pool):
+            buffers[:] = 1.0
+            parallel_reduce(buffers, pool)
+
+        records.append(measure_case(
+            "pool-overhead", f"reduce/T{T}",
+            reduce_kernel,
+            params={"threads": T, "buffer": [256, 25]}, repeats=repeats,
+        ))
+    T = max(multi)
+    gen = np.random.default_rng(rng)
+    mats = [gen.standard_normal((48, 16)) for _ in range(3)]
+    for backend in ("thread", "process"):
+        ex = get_executor(T, backend=backend)
+        records.append(measure_case(
+            "pool-overhead", f"backend-region/{backend}/T{T}",
+            lambda ex=ex: ex.parallel_for(_noop_kernel, T),
+            params={"backend": backend, "threads": T}, repeats=repeats,
+        ))
+        records.append(measure_case(
+            "pool-overhead", f"backend-krp/{backend}/T{T}",
+            lambda ex=ex: khatri_rao_parallel(mats, executor=ex),
+            params={"backend": backend, "threads": T, "Z": 3, "C": 16},
+            repeats=repeats,
+        ))
+    return records
+
+
+def _noop_kernel(worker, start, stop):
+    pass
+
+
+# --------------------------------------------------------------------- #
+# Design ablations
+# --------------------------------------------------------------------- #
+
+
+@register(
+    "ablations",
+    title="Design ablations: 2-step side rule, KRP reuse depth",
+    tags=("ablation",),
+    default_scale=0.1,
+)
+def _run_ablations(scale, threads, repeats, rng):
+    from repro.core.krp_parallel import khatri_rao_parallel
+    from repro.core.mttkrp_twostep import choose_side, mttkrp_twostep
+
+    records = []
+    skewed = scaled_shape((40, 80, 400), 25 * scale * 0.004)
+    X = random_tensor(skewed, rng=rng)
+    U = random_factors(skewed, 16, rng=rng + 1)
+    rule = choose_side(skewed, 1)
+    for side in ("auto", "left", "right"):
+        records.append(measure_case(
+            "ablations", f"twostep-side/{side}",
+            lambda side=side: mttkrp_twostep(X, U, 1, side=side, num_threads=1),
+            params={"shape": list(skewed), "rank": 16, "side": side,
+                    "rule_choice": rule, "threads": 1},
+            repeats=repeats,
+        ))
+    rows = max(int(2e7 * scale * 0.004), 16)
+    d = max(int(round(rows ** 0.25)), 2)
+    gen = np.random.default_rng(rng + 2)
+    mats = [gen.random((d, 25)) for _ in range(4)]
+    for schedule in ("reuse", "naive"):
+        records.append(measure_case(
+            "ablations", f"krp-depth4/{schedule}",
+            lambda schedule=schedule: khatri_rao_parallel(
+                mats, num_threads=1, schedule=schedule),
+            params={"Z": 4, "C": 25, "rows": d ** 4, "schedule": schedule,
+                    "threads": 1},
+            repeats=repeats,
+        ))
+    return records

@@ -16,7 +16,14 @@ import numpy as np
 
 from repro.util.timing import PhaseTimer, wall_time
 
-__all__ = ["median_time", "mean_time", "time_once", "PhaseTimer", "wall_time"]
+__all__ = [
+    "median_time",
+    "mean_time",
+    "time_once",
+    "time_samples",
+    "PhaseTimer",
+    "wall_time",
+]
 
 
 def time_once(fn: Callable[[], object]) -> float:
@@ -24,6 +31,22 @@ def time_once(fn: Callable[[], object]) -> float:
     t0 = time.perf_counter()
     fn()
     return time.perf_counter() - t0
+
+
+def time_samples(
+    fn: Callable[[], object], repeats: int = 5, warmup: int = 1
+) -> list[float]:
+    """Raw per-repeat wall times after ``warmup`` runs.
+
+    The registry's normalized records keep the full timing distribution
+    (mean/median/min/max/std), so the harness measures once and derives
+    every statistic from the same samples.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    return [time_once(fn) for _ in range(repeats)]
 
 
 def median_time(

@@ -20,6 +20,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core.flops import krp_cost
 from repro.core.krp import krp_rows, krp_rows_naive
 from repro.obs import get_tracer
 from repro.parallel.backend import Executor, get_executor
@@ -89,7 +90,11 @@ def khatri_rao_parallel(
         raise ValueError(f"out has shape {out.shape}, expected {(rows, C)}")
 
     tracer = get_tracer()
-    with tracer.span("krp.parallel", rows=rows, C=C, schedule=schedule):
+    with tracer.span("krp.parallel", rows=rows, C=C, schedule=schedule) as sp:
+        cost = krp_cost([m.shape[0] for m in mats], C, schedule=schedule)
+        sp.add("flops", cost.flops)
+        sp.add("bytes_read", cost.read_bytes)
+        sp.add("bytes_written", cost.write_bytes)
         if T == 1 and executor is None:
             if out is None:
                 out = np.empty((rows, C), dtype=dtype)

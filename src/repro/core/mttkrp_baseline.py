@@ -21,6 +21,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core.flops import gemm_lower_bound_cost
 from repro.core.krp import khatri_rao
 from repro.core.mttkrp_onestep import krp_operands
 from repro.obs import get_tracer
@@ -114,6 +115,7 @@ def mttkrp_gemm_lower_bound(
     rank = check_factor_matrices(list(factors), tensor.shape)
     T = resolve_threads(num_threads)
     t = timers if timers is not None else NULL_TIMER
+    tr = get_tracer()
     rows = tensor.shape[n]
     inner = tensor.size // rows
     key = (rows, inner, rank)
@@ -127,5 +129,10 @@ def mttkrp_gemm_lower_bound(
         B = np.ones((inner, rank), order="F")
         if _scratch is not None:
             _scratch.update(key=key, A=A, B=B)
-    with blas_threads(T), t.phase("gemm"):
+    with blas_threads(T), t.phase("gemm"), tr.span("gemm-lower-bound") as sp:
+        cost = gemm_lower_bound_cost(tensor.shape, n, rank)
+        sp.add("flops", cost.flops)
+        sp.add("bytes_read", sum(p.read_bytes for p in cost.phases))
+        sp.add("bytes_written", sum(p.write_bytes for p in cost.phases))
+        sp.add("gemm_calls", 1)
         return A @ B

@@ -21,6 +21,7 @@ See ``docs/observability.md`` for the span model and export formats, and
 from repro.obs.export import (
     chrome_trace,
     counter_total,
+    counters_snapshot,
     phase_timer_from_trace,
     phase_totals,
     save_chrome_trace,
@@ -31,6 +32,7 @@ from repro.obs.tracer import (
     NullTracer,
     Span,
     Tracer,
+    capture,
     disable,
     enable,
     get_tracer,
@@ -46,10 +48,12 @@ __all__ = [
     "enable",
     "disable",
     "is_enabled",
+    "capture",
     "chrome_trace",
     "save_chrome_trace",
     "summary",
     "phase_totals",
     "phase_timer_from_trace",
     "counter_total",
+    "counters_snapshot",
 ]

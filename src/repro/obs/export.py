@@ -36,7 +36,17 @@ __all__ = [
     "phase_totals",
     "phase_timer_from_trace",
     "counter_total",
+    "counters_snapshot",
 ]
+
+#: Counters aggregated into benchmark records by :func:`counters_snapshot`.
+_SNAPSHOT_COUNTERS = (
+    "flops",
+    "bytes_read",
+    "bytes_written",
+    "gemm_calls",
+    "gemv_calls",
+)
 
 
 def counter_total(tracer: Tracer, name: str) -> float:
@@ -52,6 +62,33 @@ def counter_total(tracer: Tracer, name: str) -> float:
     for span in tracer.spans():
         total += float(span.counters.get(name, 0.0))
     return total
+
+
+def counters_snapshot(tracer: Tracer) -> dict[str, float]:
+    """Flatten a trace into the counter dict benchmark records carry.
+
+    The export hook the benchmark harness runs each measured point
+    through: analytic FLOP/byte totals and GEMM/GEMV call counts summed
+    across all spans (plus tracer-level spillover), and the per-region
+    load-imbalance distilled to ``regions`` / ``imbalance_mean`` /
+    ``imbalance_max``.  Zero-valued totals are omitted — a missing key
+    reads as "not instrumented", a present key as a real measurement.
+    """
+    snapshot: dict[str, float] = {}
+    for name in _SNAPSHOT_COUNTERS:
+        total = counter_total(tracer, name)
+        if total:
+            snapshot[name] = total
+    imbalances = [
+        sp.counters["imbalance"]
+        for sp in tracer.spans()
+        if "imbalance" in sp.counters
+    ]
+    if imbalances:
+        snapshot["regions"] = float(len(imbalances))
+        snapshot["imbalance_mean"] = sum(imbalances) / len(imbalances)
+        snapshot["imbalance_max"] = max(imbalances)
+    return snapshot
 
 
 def _json_default(obj):

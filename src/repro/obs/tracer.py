@@ -53,6 +53,7 @@ __all__ = [
     "enable",
     "disable",
     "is_enabled",
+    "capture",
 ]
 
 _clock = time.perf_counter
@@ -354,3 +355,33 @@ def disable() -> Tracer | None:
 def is_enabled() -> bool:
     """Whether a live tracer is currently installed."""
     return get_tracer().enabled
+
+
+@contextmanager
+def capture(tracer: Tracer | None = None):
+    """Temporarily install a fresh tracer; restores the prior state.
+
+    The benchmark harness uses this to run one instrumented repetition of
+    a measured kernel and snapshot its FLOP/byte/imbalance counters
+    without clobbering a user-enabled tracer (or enabling tracing for the
+    rest of the process):
+
+    >>> import repro.obs as obs
+    >>> with obs.capture() as tr:
+    ...     pass  # run the kernel once
+    >>> tr.spans()
+    []
+    """
+    global _active, _env_checked
+    with _state_lock:
+        previous = _active
+        previously_checked = _env_checked
+        _env_checked = True
+        _active = tracer if tracer is not None else Tracer()
+        installed = _active
+    try:
+        yield installed
+    finally:
+        with _state_lock:
+            _active = previous
+            _env_checked = previously_checked

@@ -65,6 +65,8 @@ class TestRunners:
         p = run_krp_point(mats, threads=2, repeats=1)
         assert p.seconds > 0
         assert (p.Z, p.C, p.rows, p.threads) == (2, 4, 30, 2)
+        assert p.stats["median_s"] > 0
+        assert p.stats["repeats"] == 1
 
     def test_stream_point(self):
         p = run_stream_point(1000, 4, threads=1, repeats=1)
@@ -81,6 +83,9 @@ class TestRunners:
         assert p.seconds > 0
         assert p.algorithm == algo
         assert p.phases  # breakdown attached
+        assert p.stats["min_s"] <= p.stats["median_s"] <= p.stats["max_s"]
+        # the instrumented repetition captured obs counters
+        assert p.counters.get("flops", 0) > 0
 
     @pytest.mark.parametrize("impl", ["repro", "ttb"])
     def test_cpals_point(self, impl):
@@ -88,6 +93,15 @@ class TestRunners:
         p = run_cpals_point(X, 3, impl, threads=1, iterations=2)
         assert p.seconds_per_iteration > 0
         assert p.implementation == impl
+        assert p.stats["repeats"] == 2
+
+    def test_mttkrp_point_leaves_tracer_disabled(self):
+        import repro.obs as obs
+
+        X = random_tensor((5, 6, 7), rng=0)
+        U = random_factors(X.shape, 3, rng=1)
+        run_mttkrp_point(X, U, 0, "onestep", threads=1, repeats=1)
+        assert obs.get_tracer() is obs.NULL_TRACER
 
     def test_cpals_unknown_impl(self):
         X = random_tensor((4, 5), rng=0)
