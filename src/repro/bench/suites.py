@@ -322,6 +322,49 @@ def _run_autotune(scale, threads, repeats, rng):
 
 
 # --------------------------------------------------------------------- #
+# Cache-blocked MTTKRP (PR 7)
+# --------------------------------------------------------------------- #
+
+
+@register(
+    "blocked",
+    title="Cache-blocked MTTKRP vs 1-step: achieved bytes vs BRK lower bound",
+    tags=("mttkrp", "blocked"),
+    default_scale=1.0,
+)
+def _run_blocked(scale, threads, repeats, rng):
+    from repro.core.dispatch import mttkrp
+
+    shape = scaled_shape((36, 30, 24), scale)
+    rank = 16
+    X = random_tensor(shape, rng=rng)
+    U = random_factors(shape, rank, rng=rng + 1)
+    records = []
+    for n in (0, 1):  # one external + one internal mode
+        for method in ("blocked", "onestep"):
+            for T in threads:
+                record = measure_case(
+                    "blocked",
+                    f"n{n}/{method}/T{T}",
+                    lambda n=n, method=method, T=T: mttkrp(
+                        X, U, n, method=method, num_threads=T
+                    ),
+                    params={"shape": list(shape), "rank": rank,
+                            "mode": n, "method": method, "threads": T},
+                    repeats=repeats,
+                )
+                counters = record.get("counters", {})
+                bound = counters.get("bytes_lower_bound", 0.0)
+                if bound > 0:
+                    achieved = counters.get("bytes_read", 0.0) + counters.get(
+                        "bytes_written", 0.0
+                    )
+                    counters["bound_ratio"] = achieved / bound
+                records.append(record)
+    return records
+
+
+# --------------------------------------------------------------------- #
 # Parallel-runtime substrate (PR 2)
 # --------------------------------------------------------------------- #
 

@@ -15,8 +15,15 @@ from contextlib import nullcontext
 import numpy as np
 
 from repro.core.dimtree import mttkrp_dimtree
-from repro.core.flops import baseline_cost, onestep_cost, twostep_cost
+from repro.core.flops import (
+    baseline_cost,
+    blocked_cost,
+    mttkrp_comm_lower_bound,
+    onestep_cost,
+    twostep_cost,
+)
 from repro.core.mttkrp_baseline import mttkrp_baseline
+from repro.core.mttkrp_blocked import mttkrp_blocked
 from repro.core.mttkrp_onestep import mttkrp_onestep, mttkrp_onestep_sequential
 from repro.core.mttkrp_twostep import mttkrp_twostep
 from repro.obs import get_tracer
@@ -33,6 +40,7 @@ MTTKRP_METHODS = (
     "onestep",
     "onestep-seq",
     "twostep",
+    "blocked",
     "dimtree",
     "baseline",
 )
@@ -86,6 +94,11 @@ def mttkrp(
           ``"twostep:left"``/``"twostep:right"`` pin the ordering (same
           as ``side=``) — this is the label syntax tuning records use,
           so a recorded pick can be replayed verbatim;
+        * ``"blocked"`` — the cache-blocked kernel family
+          (:mod:`repro.core.mttkrp_blocked`): KRP tiles formed in
+          cache-resident buffers, tile shapes derived from the
+          Ballard-Rouse-Knight communication lower bound against the
+          machine model's cache capacity; accepts ``cache_bytes=``;
         * ``"dimtree"`` — the dimension-tree node path for a single mode
           (half-tensor partial contraction + node MTTKRP, see
           :func:`repro.core.dimtree.mttkrp_dimtree`); accepts
@@ -199,6 +212,10 @@ def _run(tensor, factors, n, method, num_threads, timers, kwargs):
         return mttkrp_twostep(
             tensor, factors, n, num_threads=num_threads, timers=timers, **kwargs
         )
+    if method == "blocked":
+        return mttkrp_blocked(
+            tensor, factors, n, num_threads=num_threads, timers=timers, **kwargs
+        )
     if method == "dimtree":
         return mttkrp_dimtree(
             tensor, factors, n, num_threads=num_threads, timers=timers, **kwargs
@@ -209,14 +226,34 @@ def _run(tensor, factors, n, method, num_threads, timers, kwargs):
     )
 
 
+def _host_cache_bytes() -> float:
+    """The machine model's fast-memory capacity (lazily resolved)."""
+    from repro.machine.model import host_model_default
+
+    return float(host_model_default().cache_bytes)
+
+
 def _attach_cost(span, shape, n, rank, method, num_threads) -> None:
-    """Attach the algorithm's analytic FLOP/byte counts as span counters."""
+    """Attach the algorithm's analytic FLOP/byte counts as span counters.
+
+    Every costed kernel also carries a ``bytes_lower_bound`` counter — the
+    Ballard-Rouse-Knight data-movement floor for this (shape, mode, rank)
+    — so any traced run or benchmark record can report its
+    achieved-vs-lower-bound byte ratio.
+    """
+    cache = _host_cache_bytes()
     if method in ("onestep", "onestep-seq"):
         cost = onestep_cost(shape, n, rank, num_threads)
     elif method == "twostep":
         cost = twostep_cost(shape, n, rank)
+    elif method == "blocked":
+        cost = blocked_cost(shape, n, rank, num_threads, cache_bytes=cache)
     else:
         cost = baseline_cost(shape, n, rank)
     span.add("flops", cost.flops)
     span.add("bytes_read", sum(p.read_bytes for p in cost.phases))
     span.add("bytes_written", sum(p.write_bytes for p in cost.phases))
+    span.add(
+        "bytes_lower_bound",
+        mttkrp_comm_lower_bound(shape, n, rank, cache_bytes=cache),
+    )

@@ -32,11 +32,19 @@ __all__ = [
     "onestep_cost",
     "twostep_cost",
     "baseline_cost",
+    "blocked_cost",
     "gemm_lower_bound_cost",
+    "mttkrp_comm_lower_bound",
     "multi_ttv_cost",
 ]
 
 _DOUBLE = 8  # bytes per entry, double precision throughout the paper
+
+#: Fallback fast-memory capacity when no calibrated machine model is in
+#: scope (``repro.machine.model.MachineModel.cache_bytes`` is the
+#: authoritative value).  8 MiB of last-level cache is a conservative
+#: lower bound for any machine this package targets.
+DEFAULT_CACHE_BYTES = 8 << 20
 
 
 @dataclass(frozen=True)
@@ -286,6 +294,130 @@ def gemm_lower_bound_cost(shape: Sequence[int], n: int, C: int) -> AlgorithmCost
     shape = [int(s) for s in shape]
     p = mode_products(shape, n)
     return AlgorithmCost("gemm-baseline", (gemm_cost(p.size, C, p.other),))
+
+
+def mttkrp_comm_lower_bound(
+    shape: Sequence[int],
+    n: int,
+    C: int,
+    cache_bytes: float = DEFAULT_CACHE_BYTES,
+) -> float:
+    """Ballard-Rouse-Knight data-movement floor for one mode-``n`` MTTKRP.
+
+    For a fast memory of ``M`` words, the Loomis-Whitney box argument of
+    "Communication Lower Bounds for MTTKRP" (PAPERS.md) bounds the work an
+    ``M``-word segment of the execution can cover: a tensor-index box of
+    side ``b`` with ``b^N <= M`` combined with a rank block ``c = M / b``
+    covers at most ``M^(2 - 1/N)`` elementary multiplies, so the whole
+    ``I * C``-multiply computation moves at least
+
+        ``W >= I * C / M^(1 - 1/N)``
+
+    words, in addition to the compulsory traffic (read the tensor and the
+    ``N-1`` input factors once, write the output once).  For ``N = 2``
+    this recovers the classical ``Omega(m n k / sqrt(M))`` GEMM bound.
+
+    Returns the bound in **bytes** under this module's 8-bytes-per-word
+    convention (the same convention every achieved-traffic count here
+    uses, so achieved/bound ratios are internally consistent regardless
+    of the run's dtype).
+    """
+    shape = [int(s) for s in shape]
+    N = len(shape)
+    C = int(C)
+    if not 0 <= n < N:
+        raise ValueError(f"mode {n} out of range for order-{N} shape")
+    total = prod(shape)
+    M_words = max(float(cache_bytes) / _DOUBLE, 2.0)
+    # Compulsory: tensor read + factor reads (all modes but n) + output
+    # write; the output has I_n rows, so the factor/output terms together
+    # are C * sum(shape).
+    compulsory = float(total) + float(C) * float(sum(shape))
+    loomis_whitney = float(total) * C / M_words ** (1.0 - 1.0 / N)
+    return max(compulsory, loomis_whitney) * _DOUBLE
+
+
+def blocked_cost(
+    shape: Sequence[int],
+    n: int,
+    C: int,
+    num_threads: int = 1,
+    cache_bytes: float = DEFAULT_CACHE_BYTES,
+) -> AlgorithmCost:
+    """Cost of the cache-blocked MTTKRP (:mod:`repro.core.mttkrp_blocked`).
+
+    The blocked kernel never materializes a Khatri-Rao panel in memory:
+    KRP tiles are formed in cache-resident buffers and consumed
+    immediately, so the only DRAM traffic charged beyond the compulsory
+    reads/writes is re-reading the left partial KRP when it exceeds the
+    cache (internal modes).  This is what moves the predicted traffic
+    toward :func:`mttkrp_comm_lower_bound`.
+    """
+    shape = [int(s) for s in shape]
+    N = len(shape)
+    C = int(C)
+    T = int(num_threads)
+    p = mode_products(shape, n)
+    external = n == 0 or n == N - 1
+    factor_read = float(sum(shape[k] for k in range(N) if k != n) * C * _DOUBLE)
+    phases: list[PhaseCost] = []
+    if external:
+        other_dims = [shape[k] for k in range(N - 1, -1, -1) if k != n]
+        # KRP tiles: same arithmetic as the reuse schedule, but every tile
+        # lives in cache — only the factor inputs are charged to memory.
+        phases.append(
+            PhaseCost(
+                "full_krp", krp_cost(other_dims, C).flops, factor_read, 0.0
+            )
+        )
+        gemm = PhaseCost(
+            "gemm",
+            2.0 * p.total * C,
+            float(p.total * _DOUBLE),
+            float(p.size * C * _DOUBLE),
+            gemm_shape=(p.size, C, min(p.other, max(p.other // max(T, 1), 1))),
+        )
+        phases.append(gemm)
+    else:
+        left_dims = [shape[k] for k in range(n - 1, -1, -1)]
+        right_dims = [shape[k] for k in range(N - 1, n, -1)]
+        kl = krp_cost(left_dims, C)
+        kr = krp_cost(right_dims, C)
+        # K_L is materialized once; it is re-read from memory for every
+        # right block only when it does not fit in (half) the cache.
+        kl_bytes = float(p.left * C * _DOUBLE)
+        reloads = 1.0 if 2.0 * kl_bytes <= cache_bytes else float(p.right)
+        phases.append(
+            PhaseCost(
+                "lr_krp",
+                # K_L formation + right-KRP rows + per-tile Hadamard
+                # broadcasts (K_t tiles: I^L_n * C multiplies per block).
+                kl.flops + kr.flops + float(p.right) * p.left * C,
+                kl.read_bytes + max(reloads - 1.0, 0.0) * kl_bytes
+                + float(p.right * C * _DOUBLE),
+                kl.write_bytes,
+            )
+        )
+        phases.append(
+            PhaseCost(
+                "gemm",
+                2.0 * p.total * C,
+                float(p.total * _DOUBLE),
+                float(p.size * C * _DOUBLE),
+                gemm_shape=(p.size, C, p.left),
+            )
+        )
+    if T > 1:
+        entries = p.size * C
+        phases.append(
+            PhaseCost(
+                "reduce",
+                float((T - 1) * entries),
+                float(2 * (T - 1) * entries * _DOUBLE),
+                float((T - 1) * entries * _DOUBLE),
+            )
+        )
+    return AlgorithmCost("blocked", tuple(_merge(phases)))
 
 
 # --------------------------------------------------------------------- #

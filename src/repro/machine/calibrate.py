@@ -25,7 +25,47 @@ import numpy as np
 
 from repro.machine.model import MachineModel
 
-__all__ = ["calibrate_host_model", "measure_stream_bandwidth", "measure_gemm_gflops"]
+__all__ = [
+    "calibrate_host_model",
+    "measure_stream_bandwidth",
+    "measure_gemm_gflops",
+    "detect_cache_bytes",
+]
+
+
+def detect_cache_bytes(default: float = float(8 << 20)) -> float:
+    """Last-level cache capacity in bytes, read from sysfs where available.
+
+    Scans ``/sys/devices/system/cpu/cpu0/cache/index*`` for the largest
+    unified/data cache level (Linux); any failure — other platforms,
+    containers that mask sysfs — falls back to ``default`` (a conservative
+    8 MiB).  Feeds :attr:`~repro.machine.model.MachineModel.cache_bytes`,
+    which the blocked MTTKRP kernels use for tile sizing.
+    """
+    base = "/sys/devices/system/cpu/cpu0/cache"
+    best = 0.0
+    try:
+        for entry in sorted(os.listdir(base)):
+            if not entry.startswith("index"):
+                continue
+            try:
+                with open(os.path.join(base, entry, "type")) as fh:
+                    kind = fh.read().strip()
+                if kind not in ("Unified", "Data"):
+                    continue
+                with open(os.path.join(base, entry, "size")) as fh:
+                    text = fh.read().strip()
+            except OSError:
+                continue
+            scale = 1
+            if text.endswith("K"):
+                scale, text = 1024, text[:-1]
+            elif text.endswith("M"):
+                scale, text = 1024 * 1024, text[:-1]
+            best = max(best, float(int(text) * scale))
+    except OSError:
+        pass
+    return best if best > 0 else float(default)
 
 
 def _best_of(fn, repeats: int = 3) -> float:
@@ -98,4 +138,5 @@ def calibrate_host_model(
         gemm_efficiency=assumed_gemm_efficiency,
         bw_single_gbs=bw1,
         bw_max_gbs=bw_max,
+        cache_bytes=detect_cache_bytes(),
     )

@@ -78,6 +78,13 @@ class MachineModel:
     region_overhead_us:
         Per-parallel-region launch/join overhead, microseconds, scaled by
         ``log2(T)+1``.
+    cache_bytes:
+        Last-level cache capacity in bytes (one socket's worth — the fast
+        memory a worker can count on).  Drives the analytic tile-shape
+        selection of the blocked MTTKRP kernels
+        (:mod:`repro.core.mttkrp_blocked`) and instantiates the
+        Ballard-Rouse-Knight communication lower bound
+        (:func:`repro.core.flops.mttkrp_comm_lower_bound`).
     """
 
     name: str
@@ -95,6 +102,7 @@ class MachineModel:
     naive_recompute_penalty: float = 0.55
     matlab_parallel_speedup: float = 2.0
     region_overhead_us: float = 20.0
+    cache_bytes: float = float(8 << 20)
 
     # ------------------------------------------------------------------ #
     # Rate curves
@@ -246,6 +254,7 @@ def paper_machine() -> MachineModel:
         gemm_efficiency=0.88,
         bw_single_gbs=4.0,
         bw_max_gbs=30.0,
+        cache_bytes=float(15 << 20),  # 15 MiB L3 per E5-2620 socket
     )
 
 

@@ -37,6 +37,7 @@ from repro.core.flops import (
     AlgorithmCost,
     PhaseCost,
     baseline_cost,
+    blocked_cost,
     gemm_lower_bound_cost,
     krp_cost,
     onestep_cost,
@@ -64,6 +65,10 @@ _PARALLEL_CLASS: dict[tuple[str, str], str] = {
     ("onestep", "lr_krp"): "memory",
     ("onestep", "gemm"): "explicit",
     ("onestep", "reduce"): "memory",
+    ("blocked", "full_krp"): "memory",
+    ("blocked", "lr_krp"): "memory",
+    ("blocked", "gemm"): "explicit",
+    ("blocked", "reduce"): "memory",
     ("twostep", "lr_krp"): "memory",
     ("twostep", "gemm"): "blas",
     ("twostep", "gemv"): "blas",
@@ -153,6 +158,15 @@ def predict_algorithm_time(
         else:
             # Per-block GEMMs of shape (I_n, C, I^L_n).
             per_thread_shape = (p.size, C, p.left)
+    elif algorithm == "blocked":
+        cost = blocked_cost(
+            shape, n, C, threads, cache_bytes=model.cache_bytes
+        )
+        if external:
+            tile = max(p.other // max(threads, 1), 1)
+        else:
+            tile = p.left
+        per_thread_shape = (p.size, C, tile)
     elif algorithm == "twostep":
         cost = twostep_cost(shape, n, C, side=side)
     elif algorithm == "baseline":
@@ -263,8 +277,8 @@ def predict_mttkrp_candidates(
 
     This is the autotuner's **prior** (:mod:`repro.tune`): candidate
     labels map onto the measured candidate set — ``"onestep"``,
-    ``"baseline"``, ``"twostep:left"``/``"twostep:right"`` (internal
-    modes only) and ``"dimtree"`` (the single-mode node path:
+    ``"baseline"``, ``"blocked"``, ``"twostep:left"``/``"twostep:right"``
+    (internal modes only) and ``"dimtree"`` (the single-mode node path:
     half-tensor partial contraction + partial KRP + one node
     contraction).  The model ranks candidates so the tuner measures the
     plausible ones first and can prune clearly dominated ones; it never
@@ -279,6 +293,9 @@ def predict_mttkrp_candidates(
     )[0]
     out["baseline"] = predict_algorithm_time(
         model, shape, n, C, threads, "baseline"
+    )[0]
+    out["blocked"] = predict_algorithm_time(
+        model, shape, n, C, threads, "blocked"
     )[0]
     if not external:
         for side in ("left", "right"):

@@ -44,6 +44,7 @@ _SNAPSHOT_COUNTERS = (
     "flops",
     "bytes_read",
     "bytes_written",
+    "bytes_lower_bound",
     "gemm_calls",
     "gemv_calls",
 )

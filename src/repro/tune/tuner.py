@@ -27,13 +27,17 @@ taken to its endpoint), so the tuner records ``"onestep"`` with
 
 Observability: every microbenchmark run is a ``tune.measure`` span (with
 ``candidate`` and ``seconds`` args) and bumps the ``tune.measure``
-counter; cache consultations bump ``tune.cache_hit`` / ``tune.cache_miss``.
+counter; cache consultations bump ``tune.cache_hit`` / ``tune.cache_miss``
+(and ``tune.cache_stale`` when a persisted record no longer names an
+eligible candidate and is re-measured instead of replayed).
 Tests assert "second invocation measures nothing" directly on these
 counters.
 """
 
 from __future__ import annotations
 
+import threading
+import warnings
 from collections.abc import Sequence
 from contextlib import nullcontext
 from dataclasses import dataclass
@@ -42,6 +46,7 @@ import numpy as np
 
 from repro.core.dimtree import mttkrp_dimtree
 from repro.core.mttkrp_baseline import mttkrp_baseline
+from repro.core.mttkrp_blocked import mttkrp_blocked
 from repro.core.mttkrp_onestep import mttkrp_onestep
 from repro.core.mttkrp_twostep import mttkrp_twostep
 from repro.machine.model import MachineModel, host_model_default
@@ -49,7 +54,13 @@ from repro.machine.predict import predict_mttkrp_candidates
 from repro.obs import get_tracer
 from repro.parallel.config import resolve_backend, resolve_threads, use_backend
 from repro.tensor.dense import DenseTensor
-from repro.tune.cache import TuneKey, TuneRecord, TuningCache, get_cache
+from repro.tune.cache import (
+    TuneCacheWarning,
+    TuneKey,
+    TuneRecord,
+    TuningCache,
+    get_cache,
+)
 from repro.util import prod
 from repro.util.timing import wall_time
 from repro.util.validation import check_factor_matrices, check_mode
@@ -113,6 +124,7 @@ def candidate_set(shape: Sequence[int], n: int) -> list[Candidate]:
             Candidate("twostep:right", "twostep", (("side", "right"),))
         )
     cands.append(Candidate("dimtree", "dimtree"))
+    cands.append(Candidate("blocked", "blocked"))
     cands.append(Candidate("baseline", "baseline"))
     return cands
 
@@ -120,9 +132,32 @@ def candidate_set(shape: Sequence[int], n: int) -> list[Candidate]:
 _RUNNERS = {
     "onestep": mttkrp_onestep,
     "twostep": mttkrp_twostep,
+    "blocked": mttkrp_blocked,
     "baseline": mttkrp_baseline,
     "dimtree": mttkrp_dimtree,
 }
+
+# Cache keys whose stale-record warning has already been emitted (one
+# warning per key per process keeps replay logs readable while still
+# flagging every distinct stale entry).
+_stale_warned: set[str] = set()
+_stale_lock = threading.Lock()
+
+
+def _cached_record_eligible(
+    record: TuneRecord, shape: Sequence[int], n: int
+) -> bool:
+    """Whether a persisted decision still names a runnable candidate.
+
+    Cache files outlive code: an entry written by an older (or newer)
+    version of this package may name a method that no longer exists, or a
+    2-step ordering for a key whose mode is external in the current
+    candidate set.  Replaying such a record verbatim would make
+    ``mttkrp(method="autotune")`` *fail* on a configuration it could
+    perfectly well compute — the cache must never be load-bearing for
+    correctness, so ineligible records are treated as misses.
+    """
+    return record.label in {c.label for c in candidate_set(shape, n)}
 
 
 def run_candidate(
@@ -303,8 +338,25 @@ def autotune(
     if not force:
         record = store.get(key)
         if record is not None:
-            tracer.add_counter("tune.cache_hit", 1)
-            return record
+            if _cached_record_eligible(record, tensor.shape, n):
+                tracer.add_counter("tune.cache_hit", 1)
+                return record
+            # Stale persisted decision (e.g. written by a different
+            # package version): fall through to re-measurement, which
+            # overwrites the entry.  Warn once per key per process.
+            tracer.add_counter("tune.cache_stale", 1)
+            key_str = key.to_str()
+            with _stale_lock:
+                first = key_str not in _stale_warned
+                _stale_warned.add(key_str)
+            if first:
+                warnings.warn(
+                    f"stale tuning-cache entry for {key_str}: recorded "
+                    f"method {record.label!r} is not an eligible "
+                    f"candidate for this configuration; re-measuring",
+                    TuneCacheWarning,
+                    stacklevel=2,
+                )
 
     if is_degenerate(tensor.shape):
         # Order 2: every kernel is the same single GEMM — nothing to

@@ -40,7 +40,9 @@ def run_both(fn):
 
 
 class TestMTTKRPParity:
-    @pytest.mark.parametrize("method", ["onestep", "onestep-seq", "twostep", "baseline"])
+    @pytest.mark.parametrize(
+        "method", ["onestep", "onestep-seq", "twostep", "blocked", "baseline"]
+    )
     @pytest.mark.parametrize("mode", [0, 1, 2, 3])
     def test_bit_identical(self, problem, method, mode):
         tensor, factors = problem

@@ -14,7 +14,7 @@ from repro.bench.schema import load_results, validate_record
 
 EXPECTED = {
     "fig4", "fig5", "fig6", "fig7", "fig8",
-    "dimtree", "autotune", "pool-overhead", "ablations",
+    "dimtree", "autotune", "pool-overhead", "ablations", "blocked",
 }
 
 
@@ -58,6 +58,27 @@ class TestRegistry:
         assert counters, "no record captured obs counters"
         assert any(c.get("flops", 0) > 0 or c.get("gemm_calls", 0) > 0
                    for c in counters)
+
+    def test_blocked_suite_reports_finite_bound_ratio(self):
+        # Contract for the committed results/blocked.bench.json baseline:
+        # every record carries the BRK floor and a finite achieved/bound
+        # byte ratio, and the blocked cases never exceed onestep's ratio.
+        records = run_benchmark("blocked", scale=0.2, threads=(1,), repeats=1)
+        assert records
+        ratios = {}
+        for record in records:
+            validate_record(record)
+            counters = record["counters"]
+            assert counters["bytes_lower_bound"] > 0
+            ratio = counters["bound_ratio"]
+            assert ratio == pytest.approx(
+                (counters["bytes_read"] + counters["bytes_written"])
+                / counters["bytes_lower_bound"]
+            )
+            assert 0 < ratio < float("inf")
+            ratios[record["case"]] = ratio
+        for n in (0, 1):
+            assert ratios[f"n{n}/blocked/T1"] <= ratios[f"n{n}/onestep/T1"]
 
     def test_measure_case_structure(self):
         record = measure_case(

@@ -154,6 +154,61 @@ class TestTrendCLI:
         assert code == 2
         assert "no current run" in capsys.readouterr().err
 
+    def test_new_benchmark_name_is_unbaselined_not_regressed(
+        self, tmp_path, capsys
+    ):
+        """A benchmark appearing for the first time must never exit 3.
+
+        Regression guard for the "no committed baseline" vs "regression"
+        distinction: history exists (for *other* benchmarks), the current
+        run introduces a benchmark name history has never seen — every
+        one of its cases is ``no-baseline`` and the exit code stays 0,
+        however slow the new numbers are.
+        """
+        results = tmp_path / "results"
+        results.mkdir()
+        write_results(str(results / "history.bench.json"),
+                      [_rec("fig5", "a", 1.0)])
+        current = tmp_path / "current.bench.json"
+        write_results(str(current), [
+            _rec("blocked", "n0/blocked/T1", 1e6),  # absurdly slow
+            _rec("blocked", "n1/blocked/T1", 1e6),
+        ])
+        json_out = tmp_path / "trend.json"
+        code = cli_main([
+            "trend", "--results", str(results), "--current", str(current),
+            "--json", str(json_out),
+        ])
+        assert code == EXIT_OK
+        doc = json.loads(json_out.read_text())
+        assert doc["regressions"] == []
+        assert [c["status"] for c in doc["comparisons"]] == [
+            "no-baseline", "no-baseline",
+        ]
+        assert "2 without baseline" in capsys.readouterr().out
+        # Same distinction at the compare() level.
+        result = compare(
+            [_rec("blocked", "n0/blocked/T1", 1e6)],
+            [_rec("fig5", "a", 1.0)],
+        )
+        assert [c.status for c in result.comparisons] == ["no-baseline"]
+        assert result.exit_code == EXIT_OK
+
+    def test_fresh_benchmark_vs_committed_history(self, tmp_path):
+        """Against the repo's real committed results/: a benchmark name
+        absent from every ``results/*.bench.json`` reports unbaselined."""
+        committed = os.path.join(REPO_ROOT, "results")
+        history = load_history(committed)
+        assert history, "repo must ship committed baselines"
+        fresh_name = "definitely-new-benchmark"
+        assert all(r["benchmark"] != fresh_name for r in history)
+        current = tmp_path / "current.bench.json"
+        write_results(str(current), [_rec(fresh_name, "case", 123.0)])
+        code = cli_main([
+            "trend", "--results", committed, "--current", str(current),
+        ])
+        assert code == EXIT_OK
+
     def test_current_excluded_from_history(self, tmp_path):
         # a current file living inside results/ must not self-baseline
         results = tmp_path / "results"

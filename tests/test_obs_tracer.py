@@ -195,3 +195,37 @@ class TestEnableDisable:
         tr.clear()
         assert tr.spans() == []
         assert tr.counters == {}
+
+
+class TestCaptureRestores:
+    """``capture()`` must restore the prior tracer state on *every* exit.
+
+    Regression tests: the benchmark harness wraps arbitrary user kernels
+    in ``capture()``; if one of them raises, a leaked capture tracer
+    would silently enable tracing for the rest of the process (or
+    clobber a user-enabled tracer) and skew every later timing.
+    """
+
+    def test_raise_inside_capture_restores_null_state(self):
+        assert get_tracer() is NULL_TRACER
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.capture() as tr:
+                assert get_tracer() is tr
+                raise RuntimeError("boom")
+        assert get_tracer() is NULL_TRACER
+        assert not obs.is_enabled()
+
+    def test_raise_inside_capture_restores_prior_tracer(self):
+        mine = Tracer()
+        obs.enable(mine)
+        try:
+            with pytest.raises(ValueError):
+                with obs.capture() as tr:
+                    assert get_tracer() is tr
+                    assert tr is not mine
+                    raise ValueError("kernel failed")
+            assert get_tracer() is mine
+            assert obs.is_enabled()
+        finally:
+            obs.disable()
+        assert get_tracer() is NULL_TRACER

@@ -118,7 +118,9 @@ class TestTolerantLoads:
             cache = TuningCache(path)
         X, U = _problem()
         record = autotune(X, U, 1, num_threads=1, cache=cache, repeats=1)
-        assert record.method in ("onestep", "twostep", "dimtree", "baseline")
+        assert record.method in (
+            "onestep", "twostep", "dimtree", "blocked", "baseline"
+        )
         assert record.times  # measured, not served from the broken file
         assert json.loads(path.read_text())["version"] == 1
 
@@ -275,3 +277,96 @@ class TestGlobalCache:
             assert get_cache().path is None
         finally:
             reset_cache()
+
+
+class TestStaleRecords:
+    """Persisted decisions whose method is no longer eligible for the key.
+
+    Cache files outlive code: an entry written by a different package
+    version may name a kernel that no longer exists.  Replaying it
+    verbatim used to make ``mttkrp(method="autotune")`` raise on a
+    configuration it could perfectly well compute; a stale entry must
+    instead warn once, fall back to re-measurement and be overwritten.
+    """
+
+    def _stale_file(self, path, shape, method, kwargs=None, mode=1):
+        key = TuneKey.make(shape, 3, mode, 1, "thread", "float64")
+        payload = {
+            "version": 1,
+            "entries": {
+                key.to_str(): {
+                    "method": method,
+                    "kwargs": kwargs or {},
+                    "times": {},
+                    "source": "measured",
+                }
+            },
+        }
+        path.write_text(json.dumps(payload))
+        return key
+
+    def test_unknown_method_falls_back_to_measurement(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.core.dispatch import mttkrp
+        from repro.core.mttkrp_baseline import mttkrp_baseline
+
+        shape = (5, 7, 4)
+        path = tmp_path / "tune.json"
+        key = self._stale_file(path, shape, "fused-v99")
+        monkeypatch.setenv("REPRO_TUNE_CACHE", str(path))
+        reset_cache()
+        try:
+            X, U = _problem(shape=shape)
+            tracer = obs.enable()
+            try:
+                with pytest.warns(TuneCacheWarning, match="fused-v99"):
+                    out = mttkrp(
+                        X, U, 1, method="autotune",
+                        num_threads=1, backend="thread",
+                    )
+            finally:
+                obs.disable()
+            np.testing.assert_allclose(
+                out, mttkrp_baseline(X, U, 1), atol=1e-10
+            )
+            assert obs.counter_total(tracer, "tune.cache_stale") == 1
+            # The stale entry was overwritten with a runnable decision.
+            replaced = get_cache().get(key)
+            assert replaced is not None and replaced.method != "fused-v99"
+            # Second call: clean hit, no measurement, no further warning.
+            tracer2 = obs.enable()
+            try:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error", TuneCacheWarning)
+                    mttkrp(
+                        X, U, 1, method="autotune",
+                        num_threads=1, backend="thread",
+                    )
+            finally:
+                obs.disable()
+            assert obs.counter_total(tracer2, "tune.cache_hit") == 1
+            assert obs.counter_total(tracer2, "tune.measure") == 0
+        finally:
+            reset_cache()
+
+    def test_ineligible_twostep_for_external_mode_is_stale(self, tmp_path):
+        # A 2-step ordering recorded for an external-mode key is not in
+        # that mode's candidate set and would emit the degenerate-kwargs
+        # warning (or worse) on replay — it must be re-measured instead.
+        shape = (6, 4, 5)
+        path = tmp_path / "tune.json"
+        key = self._stale_file(
+            path, shape, "twostep", kwargs={"side": "left"}, mode=0
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", TuneCacheWarning)
+            cache = TuningCache(path)
+        X, U = _problem(shape=shape)
+        with pytest.warns(TuneCacheWarning, match="twostep:left"):
+            record = autotune(
+                X, U, 0, num_threads=1, backend="thread",
+                cache=cache, repeats=1,
+            )
+        assert record.label in ("onestep", "dimtree", "blocked", "baseline")
+        assert cache.get(key).label == record.label
