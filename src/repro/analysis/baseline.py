@@ -1,0 +1,91 @@
+"""Suppression baseline and ratchet for the analyzer.
+
+``repro-analysis baseline write`` records the current unsuppressed
+finding counts (total, per rule, per file); ``baseline check`` fails when
+any count *rises*.  Counts going down is the point — the baseline is a
+ratchet, not a snapshot: CI stays green while existing debt is paid off,
+and goes red the moment new debt is added.  After paying debt down,
+re-run ``baseline write`` to lock in the lower counts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "baseline_from_findings",
+    "write_baseline",
+    "check_baseline",
+]
+
+_VERSION = 1
+
+DEFAULT_BASELINE_PATH = "analysis-baseline.json"
+
+
+def baseline_from_findings(findings) -> dict:
+    """The baseline payload for a finding list (unsuppressed only)."""
+    active = [f for f in findings if not f.suppressed]
+    by_rule = Counter(f.rule for f in active)
+    by_file = Counter(f.path for f in active)
+    return {
+        "version": _VERSION,
+        "total": len(active),
+        "by_rule": dict(sorted(by_rule.items())),
+        "by_file": dict(sorted(by_file.items())),
+    }
+
+
+def write_baseline(path: str | Path, findings) -> dict:
+    payload = baseline_from_findings(findings)
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return payload
+
+
+def check_baseline(path: str | Path, findings) -> tuple[bool, list[str]]:
+    """Ratchet check: ``(ok, problems)``.
+
+    Fails when the total or any per-rule count exceeds the recorded
+    baseline (a rule absent from the baseline has a recorded count of
+    zero).  Reports — but does not fail on — counts that went down, as a
+    nudge to re-write the baseline and lock in the improvement.
+    """
+    path = Path(path)
+    if not path.exists():
+        return False, [
+            f"no baseline at {path} — run `baseline write` first"
+        ]
+    try:
+        recorded = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return False, [f"unreadable baseline {path}: {exc}"]
+    current = baseline_from_findings(findings)
+    problems: list[str] = []
+    if current["total"] > recorded.get("total", 0):
+        problems.append(
+            f"total findings rose: {recorded.get('total', 0)} -> "
+            f"{current['total']}"
+        )
+    recorded_rules = recorded.get("by_rule", {})
+    for rule, count in current["by_rule"].items():
+        old = recorded_rules.get(rule, 0)
+        if count > old:
+            problems.append(f"{rule} findings rose: {old} -> {count}")
+    ok = not problems
+    if ok:
+        improved = [
+            f"{rule}: {old} -> {current['by_rule'].get(rule, 0)}"
+            for rule, old in recorded_rules.items()
+            if current["by_rule"].get(rule, 0) < old
+        ]
+        if improved:
+            problems.append(
+                "counts went down (" + ", ".join(improved)
+                + ") — re-run `baseline write` to ratchet"
+            )
+    return ok, problems

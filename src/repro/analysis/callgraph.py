@@ -1,0 +1,364 @@
+"""Project-level module, import, and call graph for the analyzer.
+
+The per-file rules (RA001–RA006, RA008) see one ``ast.Module`` at a time;
+the project rules (RA007, RA009, RA010) need to follow a numpy view
+created in ``cp_als`` through a helper in another module into a ``_k_*``
+kernel, or to check that every branch of the dispatch table in
+``repro.core.dispatch`` is matched by an entry in the autotuner's
+candidate set.  This module provides the shared substrate:
+
+* :class:`ModuleInfo` — one parsed source file: dotted module name,
+  import map (local name -> fully qualified target), and the function
+  definitions it contains;
+* :class:`Project` — the set of modules under analysis, a
+  name-resolution service (``resolve_call``), and the induced call graph
+  (``callees`` / ``reachable``);
+* **auxiliary sources** — when the scanned tree sits inside a repository
+  (detected by walking up to ``pyproject.toml``/``setup.py``), the
+  project also loads the differential-oracle test module and the
+  Markdown docs, so RA010 can cross-reference contract surfaces that
+  live outside ``src/repro``.
+
+Resolution is purely syntactic and deliberately conservative: only
+plain-name calls (``helper(...)``), imported-name calls (``from m import
+helper``), and module-attribute calls (``import m; m.helper(...)``) are
+resolved; method calls on objects are not.  An unresolved call simply
+contributes no edge — the project rules err quiet, like the per-file
+rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "DispatchTable",
+    "extract_dispatch_tables",
+    "module_name_for",
+    "find_repo_root",
+]
+
+#: Markers that identify a repository root when walking up from a
+#: scanned path (for auxiliary cross-reference sources).
+_ROOT_MARKERS = ("pyproject.toml", "setup.py", ".git")
+
+
+@dataclass
+class FunctionInfo:
+    """One function/async-function definition in the project."""
+
+    qualname: str  # "repro.core.dispatch._run" (nested: outer.inner)
+    name: str
+    module: "ModuleInfo"
+    node: ast.AST
+
+    @property
+    def path(self) -> str:
+        return self.module.path
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, walking up through ``__init__.py``
+    packages.  A file outside any package is its bare stem."""
+    path = Path(path).resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    cur = path.parent
+    while (cur / "__init__.py").exists():
+        parts.insert(0, cur.name)
+        parent = cur.parent
+        if parent == cur:
+            break
+        cur = parent
+    return ".".join(parts) if parts else path.stem
+
+
+def find_repo_root(start: Path, max_up: int = 8) -> Path | None:
+    """Nearest ancestor of ``start`` carrying a repo-root marker."""
+    cur = Path(start).resolve()
+    if cur.is_file():
+        cur = cur.parent
+    for _ in range(max_up):
+        if any((cur / m).exists() for m in _ROOT_MARKERS):
+            return cur
+        parent = cur.parent
+        if parent == cur:
+            return None
+        cur = parent
+    return None
+
+
+class ModuleInfo:
+    """One parsed module: AST plus import map and function table."""
+
+    def __init__(self, path: Path, name: str, source: str,
+                 tree: ast.Module) -> None:
+        self.path = str(path)
+        self.name = name
+        self.source = source
+        self.tree = tree
+        #: local name -> fully qualified target ("np" -> "numpy",
+        #: "mttkrp_onestep" -> "repro.core.mttkrp_onestep.mttkrp_onestep")
+        self.imports: dict[str, str] = {}
+        #: dotted-in-module name ("outer.inner") -> FunctionInfo
+        self.functions: dict[str, FunctionInfo] = {}
+        self._index()
+
+    def _index(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        # ``import repro.core.krp`` binds "repro" but the
+                        # dotted path is what attribute calls resolve by.
+                        self.imports[head] = head
+                        self.imports[alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # Relative import: resolve against this module's package.
+                    anchor_parts = self.name.split(".")[: -node.level]
+                    anchor = ".".join(anchor_parts)
+                    base = f"{anchor}.{base}".strip(".") if base else anchor
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{base}.{alias.name}" if base else alias.name
+        # Functions, with dotted names for nesting.
+        def visit(node: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    dotted = f"{prefix}{child.name}"
+                    info = FunctionInfo(
+                        qualname=f"{self.name}.{dotted}",
+                        name=child.name, module=self, node=child,
+                    )
+                    self.functions.setdefault(dotted, info)
+                    visit(child, f"{dotted}.")
+                elif isinstance(child, (ast.ClassDef,)):
+                    visit(child, f"{prefix}{child.name}.")
+                else:
+                    visit(child, prefix)
+
+        visit(self.tree, "")
+
+
+class Project:
+    """A set of parsed modules plus the induced call graph."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}  # by dotted name
+        self.modules_by_path: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}  # by qualname
+        #: Auxiliary modules (oracle tests, ...) — cross-referenced by
+        #: project rules but never linted themselves.
+        self.aux_modules: list[ModuleInfo] = []
+        #: Concatenated Markdown documentation text (docs surface).
+        self.docs_text: str = ""
+        self._edges: dict[str, set[str]] | None = None
+
+    # -- loading -------------------------------------------------------- #
+
+    @classmethod
+    def load(
+        cls,
+        files: list[Path],
+        *,
+        sources: dict[str, str] | None = None,
+        detect_root: bool = True,
+    ) -> "Project":
+        """Parse ``files`` into a project.
+
+        ``sources`` optionally supplies pre-read file contents (keyed by
+        ``str(path)``) so the incremental cache can avoid double reads.
+        With ``detect_root``, auxiliary cross-reference sources (the
+        differential-oracle test module, ``docs/*.md``, ``README.md``)
+        are loaded from the enclosing repository, when one is found.
+        """
+        proj = cls()
+        for f in files:
+            f = Path(f)
+            src = (sources or {}).get(str(f))
+            if src is None:
+                try:
+                    src = f.read_text(encoding="utf-8")
+                except OSError:
+                    continue
+            proj.add_module(f, src)
+        if detect_root and files:
+            root = find_repo_root(Path(files[0]))
+            if root is not None:
+                proj.load_aux(root)
+        return proj
+
+    def add_module(self, path: Path, source: str) -> ModuleInfo | None:
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            return None
+        mod = ModuleInfo(path, module_name_for(path), source, tree)
+        self.modules[mod.name] = mod
+        self.modules_by_path[str(Path(path).resolve())] = mod
+        for info in mod.functions.values():
+            self.functions[info.qualname] = info
+        self._edges = None
+        return mod
+
+    def load_aux(self, root: Path) -> None:
+        """Load cross-reference sources from the repository root."""
+        for pattern in ("tests/test_oracle*.py",):
+            for f in sorted(root.glob(pattern)):
+                try:
+                    src = f.read_text(encoding="utf-8")
+                    tree = ast.parse(src, filename=str(f))
+                except (OSError, SyntaxError):
+                    continue
+                self.aux_modules.append(
+                    ModuleInfo(f, f.stem, src, tree)
+                )
+        chunks: list[str] = []
+        for f in sorted(root.glob("docs/*.md")) + [root / "README.md"]:
+            try:
+                chunks.append(f.read_text(encoding="utf-8"))
+            except OSError:
+                continue
+        self.docs_text = "\n".join(chunks)
+
+    # -- name resolution ------------------------------------------------ #
+
+    def resolve_name(self, module: ModuleInfo, name: str) -> FunctionInfo | None:
+        """Function a bare name refers to inside ``module``."""
+        if name in module.functions:
+            return module.functions[name]
+        target = module.imports.get(name)
+        if target is None:
+            return None
+        return self._function_by_qualname(target)
+
+    def resolve_call(self, module: ModuleInfo,
+                     call: ast.Call) -> FunctionInfo | None:
+        """Project function a call expression refers to, if resolvable."""
+        fn = call.func
+        if isinstance(fn, ast.Name):
+            return self.resolve_name(module, fn.id)
+        if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+            # ``alias.helper(...)`` where alias is an imported module.
+            target_mod = module.imports.get(fn.value.id)
+            if target_mod is not None:
+                return self._function_by_qualname(f"{target_mod}.{fn.attr}")
+        return None
+
+    def _function_by_qualname(self, qualname: str) -> FunctionInfo | None:
+        info = self.functions.get(qualname)
+        if info is not None:
+            return info
+        # ``from pkg import mod`` then ``mod.fn`` resolves to
+        # ``pkg.mod.fn`` only through the module table:
+        mod_name, _, fn_name = qualname.rpartition(".")
+        mod = self.modules.get(mod_name)
+        if mod is not None:
+            return mod.functions.get(fn_name)
+        return None
+
+    # -- call graph ----------------------------------------------------- #
+
+    def callees(self, fn: FunctionInfo) -> list[FunctionInfo]:
+        """Direct project-internal callees of ``fn`` (conservative)."""
+        out: dict[str, FunctionInfo] = {}
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                target = self.resolve_call(fn.module, node)
+                if target is not None and target.qualname != fn.qualname:
+                    out[target.qualname] = target
+        return list(out.values())
+
+    def reachable(self, fn: FunctionInfo) -> list[FunctionInfo]:
+        """``fn`` plus the transitive closure of its project callees."""
+        seen: dict[str, FunctionInfo] = {fn.qualname: fn}
+        frontier = [fn]
+        while frontier:
+            cur = frontier.pop()
+            for nxt in self.callees(cur):
+                if nxt.qualname not in seen:
+                    seen[nxt.qualname] = nxt
+                    frontier.append(nxt)
+        return list(seen.values())
+
+
+@dataclass
+class DispatchTable:
+    """A ``method == "literal" -> kernel(...)`` if-chain dispatch table."""
+
+    module: ModuleInfo
+    function: FunctionInfo
+    entries: dict[str, FunctionInfo] = field(default_factory=dict)
+    lines: dict[str, int] = field(default_factory=dict)
+
+
+def _str_eq_test(test: ast.expr) -> str | None:
+    """The string literal of a ``<name> == "lit"`` comparison, if any."""
+    if (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+            and isinstance(test.left, ast.Name)
+            and len(test.comparators) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+            and isinstance(test.comparators[0].value, str)):
+        return test.comparators[0].value
+    return None
+
+
+def _returned_call(stmts: list[ast.stmt]) -> ast.Call | None:
+    for stmt in stmts:
+        if (isinstance(stmt, ast.Return)
+                and isinstance(stmt.value, ast.Call)):
+            return stmt.value
+    return None
+
+
+def extract_dispatch_tables(project: Project,
+                            module: ModuleInfo) -> list[DispatchTable]:
+    """Dispatch tables in ``module``: functions containing two or more
+    ``if method == "lit": return kernel(...)`` branches whose kernels
+    resolve to project functions.  A trailing ``assert method == "lit"``
+    followed by ``return kernel(...)`` contributes a final entry."""
+    tables: list[DispatchTable] = []
+    for fn in module.functions.values():
+        entries: dict[str, FunctionInfo] = {}
+        lines: dict[str, int] = {}
+        body = getattr(fn.node, "body", [])
+        for stmt in ast.walk(fn.node):
+            if isinstance(stmt, ast.If):
+                lit = _str_eq_test(stmt.test)
+                if lit is None:
+                    continue
+                call = _returned_call(stmt.body)
+                if call is None:
+                    continue
+                target = project.resolve_call(module, call)
+                if target is not None:
+                    entries[lit] = target
+                    lines[lit] = stmt.lineno
+        # ``assert method == "baseline"`` + ``return mttkrp_baseline(...)``
+        for i, stmt in enumerate(body):
+            if isinstance(stmt, ast.Assert):
+                lit = _str_eq_test(stmt.test)
+                if lit is not None:
+                    call = _returned_call(body[i + 1:i + 2])
+                    if call is not None:
+                        target = project.resolve_call(module, call)
+                        if target is not None:
+                            entries[lit] = target
+                            lines[lit] = stmt.lineno
+        if len(entries) >= 2:
+            tables.append(DispatchTable(module, fn, entries, lines))
+    return tables

@@ -3,20 +3,58 @@
 Exit status is designed for CI: 0 when no *unsuppressed error-severity*
 findings remain, 1 otherwise.  ``--strict`` promotes warnings to the same
 treatment.  ``--json`` emits the machine-readable report instead of text.
+
+``repro-analysis baseline write [paths]`` records current finding counts
+into ``analysis-baseline.json``; ``baseline check`` exits 2 when any
+count rose above the recorded baseline (the ratchet).
+
+``--changed [BASE]`` lints only files changed in git relative to BASE
+(default ``HEAD``); ``--cache [PATH]`` enables the incremental result
+cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
+from pathlib import Path
 
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_PATH,
+    check_baseline,
+    write_baseline,
+)
+from repro.analysis.cache import DEFAULT_CACHE_PATH, LintCache
 from repro.analysis.lint import lint_paths, render_json, render_text
-from repro.analysis.rules import get_rules
+from repro.analysis.rules import get_project_rules, get_rules
 
 __all__ = ["main"]
 
 
-def main(argv: list[str] | None = None) -> int:
+def _changed_files(base: str, paths: list[str]) -> list[str]:
+    """Changed/untracked ``.py`` files from git, restricted to ``paths``."""
+    cmd = ["git", "diff", "--name-only", "--diff-filter=d", base, "--"]
+    out = subprocess.run(
+        cmd, capture_output=True, text=True, check=True,
+    ).stdout
+    untracked = subprocess.run(
+        ["git", "ls-files", "--others", "--exclude-standard"],
+        capture_output=True, text=True, check=True,
+    ).stdout
+    roots = [Path(p).resolve() for p in paths]
+    changed: list[str] = []
+    for line in (out + untracked).splitlines():
+        f = Path(line.strip())
+        if not line.strip() or f.suffix != ".py" or not f.exists():
+            continue
+        r = f.resolve()
+        if any(r == root or root in r.parents for root in roots):
+            changed.append(str(f))
+    return sorted(set(changed))
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-analysis",
         description=(
@@ -44,6 +82,36 @@ def main(argv: list[str] | None = None) -> int:
         "-v", "--verbose", action="store_true",
         help="also list suppressed findings in text output",
     )
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="BASE",
+        help="lint only files changed in git vs BASE (default HEAD), "
+             "plus untracked files, restricted to the given paths",
+    )
+    parser.add_argument(
+        "--cache", nargs="?", const=DEFAULT_CACHE_PATH, default=None,
+        metavar="PATH",
+        help=f"use an incremental result cache (default {DEFAULT_CACHE_PATH})",
+    )
+    parser.add_argument(
+        "--baseline-file", default=DEFAULT_BASELINE_PATH, metavar="PATH",
+        help=f"baseline location for the baseline subcommand "
+             f"(default {DEFAULT_BASELINE_PATH})",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    baseline_action: str | None = None
+    if argv and argv[0] == "baseline":
+        if len(argv) < 2 or argv[1] not in ("write", "check"):
+            print("usage: repro-analysis baseline {write,check} [paths...]",
+                  file=sys.stderr)
+            return 2
+        baseline_action = argv[1]
+        argv = argv[2:]
+
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
     ids = ([s.strip() for s in args.rules.split(",") if s.strip()]
@@ -52,8 +120,43 @@ def main(argv: list[str] | None = None) -> int:
         rules = get_rules(ids)
     except ValueError as exc:
         parser.error(str(exc))
+    project_rules = get_project_rules(ids)
 
-    findings = lint_paths(args.paths, rules)
+    paths = args.paths
+    if args.changed is not None:
+        try:
+            paths = _changed_files(args.changed, args.paths)
+        except (subprocess.CalledProcessError, OSError) as exc:
+            print(f"repro-analysis: --changed failed: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print("0 error(s), 0 warning(s), 0 suppressed (no changed files)")
+            return 0
+
+    cache = None
+    if args.cache is not None:
+        cache = LintCache(
+            args.cache, LintCache.rules_signature(rules, project_rules),
+        )
+
+    findings = lint_paths(paths, rules, project_rules, cache=cache)
+    if cache is not None:
+        cache.save()
+
+    if baseline_action == "write":
+        payload = write_baseline(args.baseline_file, findings)
+        print(f"baseline written to {args.baseline_file}: "
+              f"{payload['total']} finding(s)")
+        return 0
+    if baseline_action == "check":
+        ok, problems = check_baseline(args.baseline_file, findings)
+        for p in problems:
+            print(p)
+        if ok:
+            print(f"baseline check passed ({args.baseline_file})")
+            return 0
+        return 2
+
     if args.json:
         print(render_json(findings))
     else:

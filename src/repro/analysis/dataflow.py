@@ -1,0 +1,439 @@
+"""Flow-sensitive ndarray-view provenance and interprocedural write
+summaries.
+
+Two analyses power the interprocedural rules:
+
+1. **View provenance** (:func:`view_provenance`): inside one function
+   body, which local names are views of which *root* arrays (parameters,
+   captured shared state), and whether the view was carved out through a
+   partition-derived index.  ``sub = out[start:stop]`` is a
+   *partitioned* view of ``out``; ``sub = out[:10]`` or ``flat =
+   out.reshape(-1)`` is an *unpartitioned* alias — writing all of it
+   from every worker is exactly the hazard RA001 flags for direct
+   writes, and RA007 flags when the write happens one call away.
+
+2. **Write summaries** (:func:`write_summaries`): for every function in
+   the project, which of its parameters it writes to, and whether the
+   written index is derived from other parameters (``depends``) or from
+   nothing the caller controls (``fixed`` — a constant row, a whole-
+   array ``[:] =`` / ``+=`` store, an ``out=`` destination).  Summaries
+   propagate across call edges to a fixed point, so a kernel calling
+   ``helper(buf)`` where ``helper`` calls ``fill(buf)`` and ``fill``
+   does ``buf[:] = 0`` is still seen to clobber ``buf``.
+
+Both analyses are syntactic over-approximations in the same spirit as
+:mod:`repro.analysis.rules.base`: they only claim what they can see, and
+the rules built on them flag only provable-shape hazards.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import FunctionInfo, Project
+from repro.analysis.rules.base import (
+    PARTITION_SOURCES,
+    names_loaded,
+    subscript_indices,
+    subscript_root,
+)
+
+__all__ = [
+    "ViewInfo",
+    "view_provenance",
+    "ParamWrite",
+    "WriteSummary",
+    "write_summaries",
+    "param_names_of",
+]
+
+#: ndarray methods whose result aliases (or may alias) the receiver.
+VIEW_METHODS = frozenset({
+    "reshape", "transpose", "swapaxes", "view", "ravel", "squeeze",
+    "astype",  # astype(copy=False) may alias; conservative
+    "unfold", "mode_blocks_view", "matricize",
+})
+
+#: numpy-level functions whose result aliases the first argument.
+VIEW_FUNCS = frozenset({
+    "asarray", "ascontiguousarray", "asfortranarray", "atleast_2d",
+    "reshape", "transpose", "swapaxes", "squeeze", "ravel",
+})
+
+
+@dataclass(frozen=True)
+class ViewInfo:
+    """One may-alias fact: ``name`` may view ``base``.
+
+    ``partitioned`` — the view was taken through a partition-derived
+    index somewhere along the chain, so the worker owns it.
+    """
+
+    base: str
+    partitioned: bool = False
+
+
+def _expr_views(expr: ast.expr, prov: dict[str, set[ViewInfo]],
+                roots: set[str], derived: set[str]) -> set[ViewInfo]:
+    """View facts for the value of ``expr``."""
+
+    def of_name(name: str) -> set[ViewInfo]:
+        if name in prov:
+            return set(prov[name])
+        if name in roots:
+            return {ViewInfo(name, False)}
+        return set()
+
+    if isinstance(expr, ast.Name):
+        return of_name(expr.id)
+    if isinstance(expr, ast.Subscript):
+        inner = _expr_views(expr.value, prov, roots, derived)
+        part = any(
+            any(n in derived for n in names_loaded(idx))
+            for idx in subscript_indices(expr)
+        )
+        return {ViewInfo(v.base, v.partitioned or part) for v in inner}
+    if isinstance(expr, ast.Attribute):
+        # a.T and view-method references: alias of the receiver.
+        if expr.attr == "T" or expr.attr in VIEW_METHODS:
+            return _expr_views(expr.value, prov, roots, derived)
+        # ``tensor.data`` style: the attribute aliases the owner.
+        if expr.attr in ("data", "base"):
+            return _expr_views(expr.value, prov, roots, derived)
+        return set()
+    if isinstance(expr, ast.Call):
+        fn = expr.func
+        if isinstance(fn, ast.Attribute):
+            if fn.attr in VIEW_METHODS:
+                # receiver.reshape(...) aliases the receiver
+                views = _expr_views(fn.value, prov, roots, derived)
+                part = any(
+                    any(n in derived for n in names_loaded(a))
+                    for a in expr.args
+                )
+                return {ViewInfo(v.base, v.partitioned or part)
+                        for v in views}
+            if fn.attr in VIEW_FUNCS and expr.args:
+                return _expr_views(expr.args[0], prov, roots, derived)
+        elif isinstance(fn, ast.Name) and fn.id in VIEW_FUNCS and expr.args:
+            return _expr_views(expr.args[0], prov, roots, derived)
+        return set()
+    if isinstance(expr, ast.IfExp):
+        return (_expr_views(expr.body, prov, roots, derived)
+                | _expr_views(expr.orelse, prov, roots, derived))
+    return set()
+
+
+def view_provenance(body: list[ast.stmt], roots: set[str],
+                    derived: set[str]) -> dict[str, set[ViewInfo]]:
+    """Name -> view facts, iterated to a fixed point over ``body``.
+
+    ``roots`` are the arrays whose aliases matter (a task context's
+    shared names); ``derived`` are partition-derived names (see
+    :func:`repro.analysis.rules.base.derived_names`).
+    """
+    prov: dict[str, set[ViewInfo]] = {}
+    for _ in range(8):  # fixed point; bodies are short
+        changed = False
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign):
+                    views = _expr_views(node.value, prov, roots, derived)
+                    if not views:
+                        continue
+                    for t in node.targets:
+                        if isinstance(t, ast.Name):
+                            if views - prov.get(t.id, set()):
+                                prov.setdefault(t.id, set()).update(views)
+                                changed = True
+                elif (isinstance(node, ast.AnnAssign)
+                        and node.value is not None
+                        and isinstance(node.target, ast.Name)):
+                    views = _expr_views(node.value, prov, roots, derived)
+                    if views - prov.get(node.target.id, set()):
+                        prov.setdefault(node.target.id, set()).update(views)
+                        changed = True
+        if not changed:
+            break
+    return prov
+
+
+# --------------------------------------------------------------------- #
+# Interprocedural write summaries
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ParamWrite:
+    """One write a function performs on one of its parameters.
+
+    ``depends`` — parameter names whose values feed the written index.
+    Empty ``depends`` means a *fixed* write: the location is the same no
+    matter what the caller passes (row 0, the whole array, ...), so two
+    workers calling it on the same array always collide.
+    """
+
+    param: str
+    depends: frozenset[str]
+    line: int
+    how: str  # "subscript" | "whole-array" | "out="
+
+    @property
+    def fixed(self) -> bool:
+        return not self.depends
+
+
+@dataclass
+class WriteSummary:
+    """All parameter writes of one function (direct + via callees)."""
+
+    fn: FunctionInfo
+    writes: set[ParamWrite] = field(default_factory=set)
+
+    def writes_to(self, param: str) -> list[ParamWrite]:
+        return [w for w in self.writes if w.param == param]
+
+
+def param_names_of(fn_node: ast.AST) -> list[str]:
+    args = fn_node.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    names += [a.arg for a in args.kwonlyargs]
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _bound_target_names(target: ast.AST) -> set[str]:
+    """Names an assignment target binds (subscript roots included,
+    subscript *indices* excluded — those are loads)."""
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for e in target.elts:
+            out |= _bound_target_names(e)
+        return out
+    if isinstance(target, ast.Starred):
+        return _bound_target_names(target.value)
+    if isinstance(target, (ast.Subscript, ast.Attribute)):
+        root = subscript_root(target)
+        if isinstance(root, ast.Name):
+            return {root.id}
+    return set()
+
+
+def _param_labels(fn_node: ast.AST) -> dict[str, frozenset[str]]:
+    """Name -> parameters its value derives from, to a fixed point.
+
+    Each parameter starts labelled with itself; assignment and loop
+    targets inherit the union of their source's labels.  A name carved
+    from a :data:`PARTITION_SOURCES` call keeps whatever parameter
+    labels feed that call.
+    """
+    params = param_names_of(fn_node)
+    labels: dict[str, frozenset[str]] = {p: frozenset({p}) for p in params}
+
+    def labels_of(expr: ast.AST) -> frozenset[str]:
+        out: set[str] = set()
+        for n in names_loaded(expr):
+            out |= labels.get(n, frozenset())
+        return frozenset(out)
+
+    body = fn_node.body if isinstance(fn_node.body, list) else [fn_node.body]
+    for _ in range(8):
+        changed = False
+        for stmt in body:
+            for node in ast.walk(stmt):
+                targets: list[ast.AST] = []
+                source: ast.AST | None = None
+                if isinstance(node, ast.Assign):
+                    targets, source = node.targets, node.value
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    if node.value is not None:
+                        targets, source = [node.target], node.value
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    targets, source = [node.target], node.iter
+                if source is None:
+                    continue
+                src_labels = labels_of(source)
+                if not src_labels:
+                    continue
+                for t in targets:
+                    # Only the *bound* names inherit labels: a plain
+                    # target, the elements of a tuple/list target, or the
+                    # root of a subscript/attribute store.  Index names
+                    # inside a subscript target are loads, not bindings.
+                    for name in _bound_target_names(t):
+                        if src_labels - labels.get(name, frozenset()):
+                            labels[name] = (
+                                labels.get(name, frozenset()) | src_labels
+                            )
+                            changed = True
+        if not changed:
+            break
+    return labels
+
+
+def _is_full_slice(idx: ast.expr) -> bool:
+    """``[:]`` / ``[...]`` — covers the whole array."""
+    if isinstance(idx, ast.Slice):
+        return idx.lower is None and idx.upper is None and idx.step is None
+    if isinstance(idx, ast.Constant) and idx.value is Ellipsis:
+        return True
+    if isinstance(idx, ast.Tuple):
+        return all(_is_full_slice(e) for e in idx.elts)
+    return False
+
+
+def _direct_writes(fn: FunctionInfo) -> set[ParamWrite]:
+    """Parameter writes performed directly in ``fn``'s body."""
+    node = fn.node
+    params = set(param_names_of(node))
+    labels = _param_labels(node)
+    writes: set[ParamWrite] = set()
+
+    def root_param(expr: ast.expr) -> str | None:
+        root = subscript_root(expr)
+        # Follow one view hop: ``v = p.reshape(...)`` then ``v[...] = x``
+        if isinstance(root, ast.Name) and root.id in params:
+            return root.id
+        return None
+
+    def index_depends(sub: ast.expr) -> frozenset[str]:
+        deps: set[str] = set()
+        for idx in subscript_indices(sub):
+            for n in names_loaded(idx):
+                deps |= labels.get(n, frozenset())
+            for inner in ast.walk(idx):
+                if (isinstance(inner, ast.Call)
+                        and isinstance(inner.func, (ast.Name, ast.Attribute))):
+                    fname = (inner.func.id if isinstance(inner.func, ast.Name)
+                             else inner.func.attr)
+                    if fname in PARTITION_SOURCES:
+                        for a in inner.args:
+                            for n in names_loaded(a):
+                                deps |= labels.get(n, frozenset())
+        return frozenset(deps)
+
+    for stmt in ast.walk(node):
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            for t in targets:
+                if isinstance(t, ast.Subscript):
+                    p = root_param(t)
+                    if p is None:
+                        continue
+                    if _is_full_slice(t.slice):
+                        writes.add(ParamWrite(p, frozenset(), t.lineno,
+                                              "whole-array"))
+                    else:
+                        writes.add(ParamWrite(p, index_depends(t), t.lineno,
+                                              "subscript"))
+                elif (isinstance(t, ast.Name) and t.id in params
+                        and isinstance(stmt, ast.AugAssign)):
+                    writes.add(ParamWrite(t.id, frozenset(), t.lineno,
+                                          "whole-array"))
+        elif isinstance(stmt, ast.Call):
+            for kw in stmt.keywords:
+                if kw.arg != "out":
+                    continue
+                val = kw.value
+                if isinstance(val, ast.Name) and val.id in params:
+                    writes.add(ParamWrite(val.id, frozenset(), val.lineno,
+                                          "out="))
+                elif isinstance(val, ast.Subscript):
+                    p = root_param(val)
+                    if p is None:
+                        continue
+                    deps = index_depends(val)
+                    if _is_full_slice(val.slice) or not deps:
+                        writes.add(ParamWrite(p, frozenset(), val.lineno,
+                                              "out="))
+                    else:
+                        writes.add(ParamWrite(p, deps, val.lineno, "out="))
+    return writes
+
+
+def _map_args(call: ast.Call, callee_node: ast.AST) -> dict[str, ast.expr]:
+    """Callee parameter name -> caller argument expression."""
+    params = param_names_of(callee_node)
+    args = callee_node.args
+    # Drop a leading ``self``-style param only for methods; project
+    # functions here are module-level, so map positionally.
+    mapping: dict[str, ast.expr] = {}
+    positional = [a.arg for a in args.posonlyargs + args.args]
+    for i, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if i < len(positional):
+            mapping[positional[i]] = arg
+    for kw in call.keywords:
+        if kw.arg is not None and kw.arg in params:
+            mapping[kw.arg] = kw.value
+    return mapping
+
+
+def write_summaries(project: Project,
+                    max_rounds: int = 4) -> dict[str, WriteSummary]:
+    """Per-function write summaries, propagated over the call graph.
+
+    Round 0 collects direct writes; each later round folds callee
+    summaries into callers (a call passing parameter ``p`` — or a view
+    of it — into a written parameter of the callee makes ``p`` written
+    here too, with ``depends`` translated through the argument map).
+    """
+    summaries = {
+        q: WriteSummary(fn, set(_direct_writes(fn)))
+        for q, fn in project.functions.items()
+    }
+    for _ in range(max_rounds):
+        changed = False
+        for q, summary in summaries.items():
+            fn = summary.fn
+            params = set(param_names_of(fn.node))
+            labels = _param_labels(fn.node)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = project.resolve_call(fn.module, node)
+                if callee is None or callee.qualname == q:
+                    continue
+                callee_sum = summaries.get(callee.qualname)
+                if callee_sum is None or not callee_sum.writes:
+                    continue
+                arg_map = _map_args(node, callee.node)
+                for w in callee_sum.writes:
+                    arg = arg_map.get(w.param)
+                    if arg is None:
+                        continue
+                    root = subscript_root(arg)
+                    if not (isinstance(root, ast.Name) and root.id in params):
+                        continue
+                    # The argument is (a view of) our parameter.  If the
+                    # argument expression itself is subscripted, the
+                    # callee only sees that sub-block — its index deps
+                    # are then relative to the block, fold them in.
+                    deps: set[str] = set()
+                    if isinstance(arg, ast.Subscript):
+                        for idx in subscript_indices(arg):
+                            for n in names_loaded(idx):
+                                deps |= labels.get(n, frozenset())
+                    for dep_param in w.depends:
+                        dep_arg = arg_map.get(dep_param)
+                        if dep_arg is not None:
+                            for n in names_loaded(dep_arg):
+                                deps |= labels.get(n, frozenset())
+                    lifted = ParamWrite(
+                        root.id, frozenset(deps), node.lineno,
+                        f"call:{callee.name}",
+                    )
+                    if lifted not in summary.writes:
+                        summary.writes.add(lifted)
+                        changed = True
+        if not changed:
+            break
+    return summaries

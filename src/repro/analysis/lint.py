@@ -24,13 +24,15 @@ import re
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.callgraph import Project
+from repro.analysis.rules import ALL_RULES, PROJECT_RULES, ProjectRule, Rule
 
 __all__ = [
     "Finding",
     "collect_files",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "render_text",
     "render_json",
 ]
@@ -85,11 +87,13 @@ def _suppressions(source: str) -> dict[int, set[str]]:
 
 
 def lint_file(path: str | Path,
-              rules: tuple[Rule, ...] = ALL_RULES) -> list[Finding]:
+              rules: tuple[Rule, ...] = ALL_RULES,
+              source: str | None = None) -> list[Finding]:
     """Lint one file.  A syntax error yields a single PARSE error finding
     rather than crashing the whole run."""
     path = Path(path)
-    source = path.read_text(encoding="utf-8")
+    if source is None:
+        source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
@@ -114,12 +118,91 @@ def lint_file(path: str | Path,
     return findings
 
 
-def lint_paths(paths: list[str | Path],
-               rules: tuple[Rule, ...] = ALL_RULES) -> list[Finding]:
-    """Lint every ``.py`` file under ``paths``."""
+def lint_project(files: list[Path],
+                 project_rules: tuple[ProjectRule, ...] = PROJECT_RULES,
+                 sources: dict[str, str] | None = None) -> list[Finding]:
+    """Run the project-level (cross-module) rules over ``files``.
+
+    Suppression directives work exactly as for per-file rules: findings
+    are anchored to a concrete file/line, and a ``# repro: ignore[RAxxx]``
+    on (or directly above) that line suppresses them.
+    """
+    if not project_rules or not files:
+        return []
+    project = Project.load(files, sources=sources)
+    sup_by_path: dict[str, dict[int, set[str]]] = {}
+
+    def suppressed_at(path: str) -> dict[int, set[str]]:
+        if path not in sup_by_path:
+            src = (sources or {}).get(path)
+            if src is None:
+                try:
+                    src = Path(path).read_text(encoding="utf-8")
+                except OSError:
+                    src = ""
+            sup_by_path[path] = _suppressions(src)
+        return sup_by_path[path]
+
     findings: list[Finding] = []
-    for f in collect_files(paths):
-        findings.extend(lint_file(f, rules))
+    for rule in project_rules:
+        for raw in rule.check_project(project):
+            sup = rule.id in suppressed_at(raw.path).get(raw.line, ())
+            findings.append(Finding(
+                rule=rule.id, severity=rule.severity, path=raw.path,
+                line=raw.line, col=raw.col, message=raw.message,
+                hint=rule.hint, suppressed=sup,
+            ))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_paths(paths: list[str | Path],
+               rules: tuple[Rule, ...] = ALL_RULES,
+               project_rules: tuple[ProjectRule, ...] = PROJECT_RULES,
+               cache=None) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``: per-file rules, then the
+    project rules over the same file set.
+
+    ``cache`` is an optional :class:`repro.analysis.cache.LintCache`;
+    per-file results are reused when a file's content hash is unchanged,
+    and the project-rule pass is reused when the whole file set (plus the
+    auxiliary oracle/docs sources) is unchanged.  The caller saves the
+    cache.
+    """
+    files = collect_files(paths)
+    sources: dict[str, str] = {}
+    for f in files:
+        try:
+            sources[str(f)] = f.read_text(encoding="utf-8")
+        except OSError:
+            continue
+    files = [f for f in files if str(f) in sources]
+
+    findings: list[Finding] = []
+    for f in files:
+        src = sources[str(f)]
+        if cache is not None:
+            hit = cache.get_file(str(f), src)
+            if hit is not None:
+                findings.extend(hit)
+                continue
+        per_file = lint_file(f, rules, source=src)
+        if cache is not None:
+            cache.put_file(str(f), src, per_file)
+        findings.extend(per_file)
+
+    if cache is not None:
+        digest = cache.project_digest(files, sources)
+        hit = cache.get_project(digest)
+        if hit is not None:
+            findings.extend(hit)
+            return findings
+        proj = lint_project(files, project_rules, sources=sources)
+        cache.put_project(digest, proj)
+        findings.extend(proj)
+        return findings
+
+    findings.extend(lint_project(files, project_rules, sources=sources))
     return findings
 
 

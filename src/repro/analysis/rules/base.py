@@ -33,7 +33,9 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "Rule",
+    "ProjectRule",
     "RawFinding",
+    "ProjectRawFinding",
     "TaskContext",
     "attach_parents",
     "bound_names",
@@ -61,6 +63,21 @@ class RawFinding:
     message: str
 
 
+@dataclass(frozen=True)
+class ProjectRawFinding:
+    """A project-rule hit: a :class:`RawFinding` plus the file it lands in.
+
+    Project rules see the whole :class:`~repro.analysis.callgraph.Project`
+    at once, so — unlike per-file rules — the flagged location is not
+    implied by the lint driver's current file.
+    """
+
+    path: str
+    line: int
+    col: int
+    message: str
+
+
 class Rule:
     """Base class for lint rules.
 
@@ -83,6 +100,25 @@ class Rule:
     def applies_to(self, path: str) -> bool:
         norm = path.replace("\\", "/")
         return not any(norm.endswith(suffix) for suffix in self.allowed_paths)
+
+
+class ProjectRule:
+    """Base class for call-graph-aware rules (RA007, RA009, RA010).
+
+    Same id/severity/title/hint surface as :class:`Rule`, but
+    :meth:`check_project` receives the whole parsed
+    :class:`~repro.analysis.callgraph.Project` and returns findings that
+    name their own file.  The lint driver applies per-file suppression
+    comments to them exactly as for per-file rules.
+    """
+
+    id: str = ""
+    severity: str = "error"
+    title: str = ""
+    hint: str = ""
+
+    def check_project(self, project) -> list[ProjectRawFinding]:
+        raise NotImplementedError
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,270 @@
+"""Dispatch-contract rules: RA009 (obs accounting) and RA010 (surfaces).
+
+The dispatch table in :mod:`repro.core.dispatch` is the repo's kernel
+contract: every method name in ``MTTKRP_METHODS`` that resolves to a
+kernel must stay (a) *accountable* — the kernel (or something it calls)
+attaches flop/byte counters to the obs tracer, so
+``bytes_lower_bound``-vs-achieved reporting cannot silently rot when a
+kernel is added — and (b) *covered* — the method appears in the
+differential oracle's method list, the autotuner's candidate set, a
+bench suite, and the docs.  Both checks are static AST cross-references
+over the :class:`~repro.analysis.callgraph.Project`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.callgraph import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    extract_dispatch_tables,
+)
+from repro.analysis.rules.base import ProjectRawFinding, ProjectRule
+
+__all__ = ["RA009MissingCostCounters", "RA010ContractCompleteness"]
+
+#: Counter names whose presence marks a kernel as cost-accounted.
+_COST_COUNTERS = frozenset({
+    "flops", "bytes_read", "bytes_written", "bytes_lower_bound",
+})
+
+
+def _adds_cost_counter(fn_node: ast.AST) -> bool:
+    """Does this function attach a cost counter (``tr.add_counter("flops",
+    ...)`` / ``span.add("bytes_read", ...)`` / ``tr.span(..., flops=...)``)?"""
+    for node in ast.walk(fn_node):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in ("add_counter", "add") and node.args:
+                first = node.args[0]
+                if (isinstance(first, ast.Constant)
+                        and first.value in _COST_COUNTERS):
+                    return True
+            if node.func.attr == "span":
+                if any(kw.arg in _COST_COUNTERS for kw in node.keywords):
+                    return True
+    return False
+
+
+class RA009MissingCostCounters(ProjectRule):
+    id = "RA009"
+    severity = "error"
+    title = "dispatch-registered kernel attaches no obs cost counters"
+    hint = (
+        "call repro.core.flops.record_mttkrp_cost(get_tracer(), ...) on "
+        "kernel entry (before opening phase spans), or attach "
+        "flops/bytes_* counters on a span the kernel owns; uncosted "
+        "kernels make traced runs and bench records silently incomparable"
+    )
+
+    def check_project(self, project: Project) -> list[ProjectRawFinding]:
+        findings: list[ProjectRawFinding] = []
+        seen: set[str] = set()
+        for mod in project.modules.values():
+            for table in extract_dispatch_tables(project, mod):
+                for method, kernel in table.entries.items():
+                    if kernel.qualname in seen:
+                        continue
+                    seen.add(kernel.qualname)
+                    if self._instrumented(project, kernel):
+                        continue
+                    findings.append(ProjectRawFinding(
+                        kernel.path, kernel.line,
+                        kernel.node.col_offset,
+                        f"kernel {kernel.name!r} (dispatch method "
+                        f"{method!r} in {table.function.name}) attaches no "
+                        f"flops/bytes counters anywhere in its call graph",
+                    ))
+        return findings
+
+    @staticmethod
+    def _instrumented(project: Project, kernel: FunctionInfo) -> bool:
+        return any(
+            _adds_cost_counter(fn.node) for fn in project.reachable(kernel)
+        )
+
+
+# --------------------------------------------------------------------- #
+# RA010: contract completeness
+# --------------------------------------------------------------------- #
+
+#: Surfaces every dispatched method must appear on.
+_SURFACES = ("oracle", "tuner", "bench", "docs")
+
+
+def _string_literals(node: ast.AST) -> set[str]:
+    return {
+        n.value
+        for n in ast.walk(node)
+        if isinstance(n, ast.Constant) and isinstance(n.value, str)
+    }
+
+
+def _normalize(labels: set[str]) -> set[str]:
+    """``"twostep:left"`` counts as coverage of ``"twostep"``."""
+    return {lab.split(":")[0] for lab in labels} | labels
+
+
+class RA010ContractCompleteness(ProjectRule):
+    id = "RA010"
+    severity = "error"
+    title = "dispatched method missing from a contract surface"
+    hint = (
+        "add the method to the missing surface (differential-oracle "
+        "method list, autotuner candidate_set, a bench suite, the docs) "
+        "or, if the omission is deliberate, suppress on the method's "
+        "MTTKRP_METHODS line with a justifying comment"
+    )
+
+    def check_project(self, project: Project) -> list[ProjectRawFinding]:
+        findings: list[ProjectRawFinding] = []
+        for mod in project.modules.values():
+            tuple_info = self._methods_tuple(mod)
+            if tuple_info is None:
+                continue
+            tuple_name, elems = tuple_info
+            tables = extract_dispatch_tables(project, mod)
+            if not tables:
+                continue
+            table_keys: set[str] = set()
+            for t in tables:
+                table_keys |= set(t.entries)
+            surfaces = {
+                "oracle": self._oracle_members(project, mod, tuple_name),
+                "tuner": self._function_members(project, mod, "candidate_set"),
+                "bench": self._bench_members(project, mod),
+                "docs": self._docs_members(project, mod),
+            }
+            for method, line in elems.items():
+                if method not in table_keys:
+                    continue  # meta-methods (auto/autotune) rewrite first
+                for surface in _SURFACES:
+                    members = surfaces[surface]
+                    if members is None:
+                        continue  # surface absent from this project
+                    if method not in members:
+                        findings.append(ProjectRawFinding(
+                            mod.path, line, 0,
+                            f"dispatched method {method!r} is missing from "
+                            f"the {surface} surface",
+                        ))
+        return findings
+
+    # -- the methods tuple --------------------------------------------- #
+
+    @staticmethod
+    def _methods_tuple(mod: ModuleInfo) -> tuple[str, dict[str, int]] | None:
+        """``(tuple_name, {method: element_line})`` for a module-level
+        ``*METHODS = ("...", ...)`` declaration (the dispatch contract)."""
+        for stmt in mod.tree.body:
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+                continue
+            target = stmt.targets[0]
+            if not (isinstance(target, ast.Name)
+                    and target.id.endswith("METHODS")
+                    and not target.id.startswith("ORACLE")):
+                continue
+            if not isinstance(stmt.value, (ast.Tuple, ast.List)):
+                continue
+            elems: dict[str, int] = {}
+            for e in stmt.value.elts:
+                if isinstance(e, ast.Constant) and isinstance(e.value, str):
+                    elems[e.value] = e.lineno
+            if len(elems) >= 2:
+                return target.id, elems
+        return None
+
+    # -- surfaces ------------------------------------------------------- #
+
+    @staticmethod
+    def _oracle_members(
+        project: Project, mod: ModuleInfo, tuple_name: str
+    ) -> set[str] | None:
+        """The differential oracle's method list.
+
+        An in-project ``ORACLE_METHODS`` assignment in the dispatch
+        module wins (fixtures use this); otherwise an auxiliary oracle
+        test module that iterates the dispatch tuple *by name* covers
+        every method, and one that spells methods out contributes its
+        string literals.  No oracle at all -> surface absent.
+        """
+        for stmt in mod.tree.body:
+            if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id == "ORACLE_METHODS"):
+                return _normalize(_string_literals(stmt.value))
+        covered: set[str] | None = None
+        for aux in project.aux_modules:
+            names = {
+                n.id for n in ast.walk(aux.tree) if isinstance(n, ast.Name)
+            }
+            if tuple_name in names:
+                return None  # iterates the tuple itself: always complete
+            covered = (covered or set()) | _normalize(_string_literals(aux.tree))
+        return covered
+
+    @staticmethod
+    def _function_members(
+        project: Project, mod: ModuleInfo, fn_name: str
+    ) -> set[str] | None:
+        """String literals inside functions named ``fn_name``; the
+        dispatch module's own definition (fixtures) shadows project-wide
+        ones so fixture files stay independent under a corpus-wide run."""
+        local = [f for f in mod.functions.values() if f.name == fn_name]
+        if local:
+            out: set[str] = set()
+            for f in local:
+                out |= _string_literals(f.node)
+            return _normalize(out)
+        out = set()
+        found = False
+        for other in project.modules.values():
+            for f in other.functions.values():
+                if f.name == fn_name:
+                    found = True
+                    out |= _string_literals(f.node)
+        return _normalize(out) if found else None
+
+    def _bench_members(
+        self, project: Project, mod: ModuleInfo
+    ) -> set[str] | None:
+        """Method labels visible to the bench harness: everything in
+        bench-package/suites modules, or — for single-file projects —
+        a local ``_mttkrp_algorithms``-style registry function."""
+        local = self._function_members(project, mod, "_mttkrp_algorithms")
+        bench_mods = [
+            m for m in project.modules.values()
+            if ".bench" in f".{m.name}" or m.name.endswith("suites")
+        ]
+        if not bench_mods:
+            return local
+        out: set[str] = set()
+        for m in bench_mods:
+            out |= _string_literals(m.tree)
+        return _normalize(out) | (local or set())
+
+    @staticmethod
+    def _docs_members(project: Project, mod: ModuleInfo) -> set[str] | None:
+        """Methods mentioned in the repo docs or the dispatch module's
+        docstrings (word-boundary match, so ``onestep`` does not count as
+        coverage of ``onestep-seq`` or vice versa)."""
+        chunks = [project.docs_text or ""]
+        doc = ast.get_docstring(mod.tree, clean=False)
+        if doc:
+            chunks.append(doc)
+        for f in mod.functions.values():
+            fdoc = ast.get_docstring(f.node, clean=False)
+            if fdoc:
+                chunks.append(fdoc)
+        text = "\n".join(c for c in chunks if c)
+        if not text.strip():
+            return None
+        members = {
+            m.group(0)
+            for m in re.finditer(r"[A-Za-z0-9_]+(?:-[A-Za-z0-9_]+)*", text)
+        }
+        return members

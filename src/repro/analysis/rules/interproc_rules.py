@@ -1,0 +1,246 @@
+"""Interprocedural parallel-hazard rule: RA007.
+
+RA001 sees one function at a time: a worker writing ``out[i] = x`` with
+``i`` unrelated to the partition.  RA007 follows the same invariant
+across the boundaries RA001 cannot cross:
+
+* a worker calling ``helper(out)`` where ``helper`` (possibly through
+  further calls) writes ``out`` at a location not derived from anything
+  the worker controls — every worker collides on the same rows;
+* a worker writing through an *unpartitioned alias* of a shared array
+  (``flat = out.reshape(-1); flat[i] = x``) — the alias hides the shared
+  root from RA001's name check;
+* a ``parallel_for``/``run_tasks`` launch whose kernel lives in another
+  module — the kernel body gets the full RA001 treatment there.
+
+Both analyses come from :mod:`repro.analysis.dataflow`: per-function
+write summaries propagated over the project call graph, and view
+provenance inside each task context.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import FunctionInfo, ModuleInfo, Project
+from repro.analysis.dataflow import (
+    ParamWrite,
+    WriteSummary,
+    param_names_of,
+    view_provenance,
+    write_summaries,
+)
+from repro.analysis.rules.base import (
+    ProjectRawFinding,
+    ProjectRule,
+    TaskContext,
+    _kernel_context,
+    attach_parents,
+    derived_names,
+    find_task_contexts,
+    names_loaded,
+    subscript_indices,
+    subscript_root,
+)
+
+__all__ = ["RA007InterprocViewEscape"]
+
+
+class RA007InterprocViewEscape(ProjectRule):
+    id = "RA007"
+    severity = "error"
+    title = "aliased view or callee write escapes the worker's partition"
+    hint = (
+        "pass the worker's own block (a partition-derived slice) into the "
+        "callee, or index the aliased view through the partition; a callee "
+        "writing a fixed location of a shared argument collides across "
+        "workers exactly like a direct unpartitioned write"
+    )
+
+    def check_project(self, project: Project) -> list[ProjectRawFinding]:
+        summaries = write_summaries(project)
+        findings: list[ProjectRawFinding] = []
+        seen: set[tuple[str, int, str]] = set()
+
+        def emit(path: str, line: int, col: int, message: str) -> None:
+            key = (path, line, message)
+            if key not in seen:
+                seen.add(key)
+                findings.append(ProjectRawFinding(path, line, col, message))
+
+        for mod in project.modules.values():
+            attach_parents(mod.tree)
+            for ctx in find_task_contexts(mod.tree):
+                self._check_context(project, mod, ctx, summaries, emit)
+            # Cross-module kernels: ``ex.parallel_for(kernel, ...)`` where
+            # ``kernel`` is imported — find_task_contexts only resolves
+            # local defs, so give the remote body the same treatment.
+            for target in self._imported_kernels(project, mod):
+                attach_parents(target.module.tree)
+                ctx = _kernel_context(target.node)
+                self._check_context(
+                    project, target.module, ctx, summaries, emit,
+                )
+        return findings
+
+    # ----------------------------------------------------------------- #
+
+    def _imported_kernels(
+        self, project: Project, mod: ModuleInfo
+    ) -> list[FunctionInfo]:
+        out: list[FunctionInfo] = []
+        for node in ast.walk(mod.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "parallel_for"
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)):
+                continue
+            name = node.args[0].id
+            if name in mod.functions:
+                continue  # local def: find_task_contexts already saw it
+            target = project.resolve_name(mod, name)
+            if target is not None:
+                out.append(target)
+        return out
+
+    def _check_context(
+        self,
+        project: Project,
+        mod: ModuleInfo,
+        ctx: TaskContext,
+        summaries: dict[str, WriteSummary],
+        emit,
+    ) -> None:
+        derived = derived_names(ctx)
+        body = ctx.node.body
+        stmts = body if isinstance(body, list) else [body]
+        # Lambda bodies are a single expression (no assignments), so the
+        # provenance pass is a no-op there; view_provenance only inspects
+        # Assign/AnnAssign nodes.
+        prov = view_provenance(stmts, set(ctx.shared), derived)
+
+        def partition_indexed(sub: ast.expr) -> bool:
+            return any(
+                any(n in derived for n in names_loaded(idx))
+                for idx in subscript_indices(sub)
+            )
+
+        def unpartitioned_alias(name: str) -> str | None:
+            """Shared base if ``name`` may be a whole-array alias of it."""
+            for v in prov.get(name, ()):
+                if v.base in ctx.shared and not v.partitioned:
+                    return v.base
+            return None
+
+        # -- (a) writes through unpartitioned aliases of shared arrays -- #
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (node.targets if isinstance(node, ast.Assign)
+                               else [node.target])
+                    for t in targets:
+                        if not isinstance(t, ast.Subscript):
+                            continue
+                        root = subscript_root(t)
+                        if not isinstance(root, ast.Name):
+                            continue
+                        # Direct writes to shared names are RA001's case;
+                        # for aliases, provenance (partitioned or not)
+                        # decides — derived_names is too generous here,
+                        # since assigning *into* a name with a derived RHS
+                        # marks the name itself derived.
+                        if root.id in ctx.shared:
+                            continue
+                        base = unpartitioned_alias(root.id)
+                        if base is not None and not partition_indexed(t):
+                            emit(
+                                mod.path, t.lineno, t.col_offset,
+                                f"worker code writes shared array {base!r} "
+                                f"through unpartitioned alias {root.id!r} "
+                                f"without a partition-derived index",
+                            )
+
+        # -- (b) shared arguments reaching callee writes ---------------- #
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = project.resolve_call(mod, node)
+                if callee is None:
+                    continue
+                summary = summaries.get(callee.qualname)
+                if summary is None or not summary.writes:
+                    continue
+                arg_map = _map_call_args(node, callee.node)
+                for w in summary.writes:
+                    arg = arg_map.get(w.param)
+                    if arg is None:
+                        continue
+                    shared_name = self._shared_arg_base(
+                        arg, ctx, derived, unpartitioned_alias,
+                    )
+                    if shared_name is None:
+                        continue
+                    if isinstance(arg, ast.Subscript) and partition_indexed(arg):
+                        continue  # worker passes its own block
+                    if self._write_is_partitioned(w, arg_map, derived):
+                        continue
+                    emit(
+                        mod.path, node.lineno, node.col_offset,
+                        f"worker code passes shared array {shared_name!r} to "
+                        f"{callee.name!r}, which writes parameter "
+                        f"{w.param!r} ({w.how}, line {w.line}) at a location "
+                        f"not derived from the worker's partition",
+                    )
+
+    @staticmethod
+    def _shared_arg_base(arg, ctx, derived, unpartitioned_alias) -> str | None:
+        root = subscript_root(arg)
+        if not isinstance(root, ast.Name):
+            return None
+        if root.id in derived:
+            return None
+        if root.id in ctx.shared:
+            return root.id
+        return unpartitioned_alias(root.id)
+
+    @staticmethod
+    def _write_is_partitioned(
+        w: ParamWrite, arg_map: dict[str, ast.expr], derived: set[str]
+    ) -> bool:
+        """True when the callee's written index traces to the partition.
+
+        A fixed write (no parameter dependence) never is.  A dependent
+        write is safe when *some* dependency parameter receives a
+        partition-derived argument; if any dependency is unmapped (a
+        defaulted parameter), stay quiet rather than guess.
+        """
+        if w.fixed:
+            return False
+        unmapped = [p for p in w.depends if p not in arg_map]
+        if unmapped:
+            return True  # can't see the default — err quiet
+        return any(
+            any(n in derived for n in names_loaded(arg_map[p]))
+            for p in w.depends
+        )
+
+
+def _map_call_args(call: ast.Call, callee_node: ast.AST) -> dict[str, ast.expr]:
+    """Callee parameter name -> caller argument expression."""
+    params = param_names_of(callee_node)
+    positional = [
+        a.arg
+        for a in callee_node.args.posonlyargs + callee_node.args.args
+    ]
+    mapping: dict[str, ast.expr] = {}
+    for i, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if i < len(positional):
+            mapping[positional[i]] = arg
+    for kw in call.keywords:
+        if kw.arg is not None and kw.arg in params:
+            mapping[kw.arg] = kw.value
+    return mapping

@@ -134,6 +134,43 @@ def _merge(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
     return merged
 
 
+#: ``ufunc.at`` index sets larger than this are logged as the covering
+#: whole-array extent instead of per-row views (conservative, like
+#: :data:`_CHUNK_CAP`: may report a false overlap, never misses one).
+_AT_INDEX_CAP = 512
+
+
+def _at_write_views(base: np.ndarray, indices) -> list[np.ndarray]:
+    """Views of ``base`` covering the rows ``ufunc.at`` writes.
+
+    Scatter indices produce *copies* under fancy indexing, so the byte
+    spans must come from basic row slices instead: one ``base[k:k+1]``
+    view per unique integer index.  Anything not a flat integer index
+    set (tuples for multi-axis scatter, boolean masks, huge index
+    arrays) falls back to the whole-array extent.
+    """
+    if indices is None or isinstance(indices, tuple) or base.ndim == 0:
+        return [base]
+    try:
+        idx = np.asarray(indices)
+    except (TypeError, ValueError):
+        return [base]
+    if idx.dtype.kind not in "iu":
+        return [base]
+    uniq = np.unique(idx.ravel())
+    if uniq.size > _AT_INDEX_CAP:
+        return [base]
+    n = base.shape[0]
+    views: list[np.ndarray] = []
+    for k in uniq:
+        k = int(k)
+        if k < 0:
+            k += n
+        if 0 <= k < n:
+            views.append(base[k:k + 1])
+    return views or [base]
+
+
 def _normalize_key(key, ndim: int):
     """Convert integer (and negative-integer) indices to slices so basic
     indexing yields a *view* we can take byte spans from."""
@@ -199,6 +236,19 @@ class WriteLogArray(np.ndarray):
             np.asarray(x) if isinstance(x, WriteLogArray) else x
             for x in inputs
         )
+        if method == "at":
+            # ``np.add.at(a, idx, v)`` mutates ``a`` in place and takes no
+            # ``out=``; log the written rows (per unique index, with a
+            # covering-extent fallback) against the root buffer.
+            getattr(ufunc, method)(*plain_in, **kwargs)
+            target = inputs[0] if inputs else None
+            if isinstance(target, WriteLogArray):
+                san = getattr(target, "_san", None)
+                if san is not None and san.active:
+                    indices = inputs[1] if len(inputs) > 1 else None
+                    for view in _at_write_views(np.asarray(target), indices):
+                        san.record_write(target._san_root, view)
+            return None
         out_arrays = out if out is not None else ()
         plain_out = tuple(
             np.asarray(x) if isinstance(x, WriteLogArray) else x

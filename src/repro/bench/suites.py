@@ -432,12 +432,18 @@ def _noop_kernel(worker, start, stop):
 
 @register(
     "ablations",
-    title="Design ablations: 2-step side rule, KRP reuse depth",
+    title="Design ablations: 2-step side rule, 1-step KRP streaming, "
+          "KRP reuse depth",
     tags=("ablation",),
     default_scale=0.1,
 )
 def _run_ablations(scale, threads, repeats, rng):
     from repro.core.krp_parallel import khatri_rao_parallel
+    from repro.core.mttkrp_baseline import mttkrp_baseline
+    from repro.core.mttkrp_onestep import (
+        mttkrp_onestep,
+        mttkrp_onestep_sequential,
+    )
     from repro.core.mttkrp_twostep import choose_side, mttkrp_twostep
 
     records = []
@@ -451,6 +457,23 @@ def _run_ablations(scale, threads, repeats, rng):
             lambda side=side: mttkrp_twostep(X, U, 1, side=side, num_threads=1),
             params={"shape": list(skewed), "rank": 16, "side": side,
                     "rule_choice": rule, "threads": 1},
+            repeats=repeats,
+        ))
+    # Sequential-variant ablation at T=1: the straightforward baseline
+    # (explicit reorder + full KRP), Algorithm 2 ("onestep-seq",
+    # materializing the full KRP), and Algorithm 3 ("onestep", streaming
+    # KRP blocks) — the paper's motivation for the 1-step reformulation.
+    seq_variants = {
+        "baseline": lambda: mttkrp_baseline(X, U, 1, num_threads=1),
+        "onestep-seq": lambda: mttkrp_onestep_sequential(X, U, 1),
+        "onestep": lambda: mttkrp_onestep(X, U, 1, num_threads=1),
+    }
+    for method, run in seq_variants.items():
+        records.append(measure_case(
+            "ablations", f"seq-variant/{method}",
+            run,
+            params={"shape": list(skewed), "rank": 16, "method": method,
+                    "threads": 1},
             repeats=repeats,
         ))
     rows = max(int(2e7 * scale * 0.004), 16)

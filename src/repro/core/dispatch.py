@@ -15,19 +15,12 @@ from contextlib import nullcontext
 import numpy as np
 
 from repro.core.dimtree import mttkrp_dimtree
-from repro.core.flops import (
-    baseline_cost,
-    blocked_cost,
-    mttkrp_comm_lower_bound,
-    onestep_cost,
-    twostep_cost,
-)
 from repro.core.mttkrp_baseline import mttkrp_baseline
 from repro.core.mttkrp_blocked import mttkrp_blocked
 from repro.core.mttkrp_onestep import mttkrp_onestep, mttkrp_onestep_sequential
 from repro.core.mttkrp_twostep import mttkrp_twostep
 from repro.obs import get_tracer
-from repro.parallel.config import resolve_threads, use_backend
+from repro.parallel.config import use_backend
 from repro.tensor.dense import DenseTensor
 from repro.util.timing import PhaseTimer
 from repro.util.validation import check_mode
@@ -38,7 +31,10 @@ MTTKRP_METHODS = (
     "auto",
     "autotune",
     "onestep",
-    "onestep-seq",
+    # onestep-seq is strictly dominated by "onestep" at every thread
+    # count the tuner would measure, so it is deliberately absent from
+    # the autotuner candidate set (it exists for oracle/ablation use).
+    "onestep-seq",  # repro: ignore[RA010]
     "twostep",
     "blocked",
     "dimtree",
@@ -157,7 +153,6 @@ def mttkrp(
             )
         method = "twostep"
         kwargs.setdefault("side", side_spec)
-    seq_variant = method == "onestep-seq"
     if method == "twostep" and external:
         # The paper: "for external modes, the 2-step algorithm degenerates
         # to the 1-step algorithm."
@@ -186,16 +181,12 @@ def mttkrp(
             f"mttkrp.{method}", mode=n, shape=list(tensor.shape),
             autotuned=autotuned,
         ) as span:
+            # Each kernel attaches its own analytic flop/byte counters on
+            # entry (record_mttkrp_cost) — they accumulate on this open
+            # span; the dimtree path's phases carry theirs on the nested
+            # partial/node spans.
             out = _run(tensor, factors, n, method, num_threads, timers, kwargs)
-            rank = int(out.shape[1])
-            span.args["rank"] = rank
-            if method != "dimtree":
-                # The dimtree path's phases carry their own flop/gemm
-                # counters on the nested partial/node spans.
-                _attach_cost(
-                    span, tensor.shape, n, rank, method,
-                    1 if seq_variant else resolve_threads(num_threads),
-                )
+            span.args["rank"] = int(out.shape[1])
             return out
 
 
@@ -223,37 +214,4 @@ def _run(tensor, factors, n, method, num_threads, timers, kwargs):
     assert method == "baseline"
     return mttkrp_baseline(
         tensor, factors, n, num_threads=num_threads, timers=timers, **kwargs
-    )
-
-
-def _host_cache_bytes() -> float:
-    """The machine model's fast-memory capacity (lazily resolved)."""
-    from repro.machine.model import host_model_default
-
-    return float(host_model_default().cache_bytes)
-
-
-def _attach_cost(span, shape, n, rank, method, num_threads) -> None:
-    """Attach the algorithm's analytic FLOP/byte counts as span counters.
-
-    Every costed kernel also carries a ``bytes_lower_bound`` counter — the
-    Ballard-Rouse-Knight data-movement floor for this (shape, mode, rank)
-    — so any traced run or benchmark record can report its
-    achieved-vs-lower-bound byte ratio.
-    """
-    cache = _host_cache_bytes()
-    if method in ("onestep", "onestep-seq"):
-        cost = onestep_cost(shape, n, rank, num_threads)
-    elif method == "twostep":
-        cost = twostep_cost(shape, n, rank)
-    elif method == "blocked":
-        cost = blocked_cost(shape, n, rank, num_threads, cache_bytes=cache)
-    else:
-        cost = baseline_cost(shape, n, rank)
-    span.add("flops", cost.flops)
-    span.add("bytes_read", sum(p.read_bytes for p in cost.phases))
-    span.add("bytes_written", sum(p.write_bytes for p in cost.phases))
-    span.add(
-        "bytes_lower_bound",
-        mttkrp_comm_lower_bound(shape, n, rank, cache_bytes=cache),
     )

@@ -36,6 +36,7 @@ __all__ = [
     "gemm_lower_bound_cost",
     "mttkrp_comm_lower_bound",
     "multi_ttv_cost",
+    "record_mttkrp_cost",
 ]
 
 _DOUBLE = 8  # bytes per entry, double precision throughout the paper
@@ -418,6 +419,60 @@ def blocked_cost(
             )
         )
     return AlgorithmCost("blocked", tuple(_merge(phases)))
+
+
+# --------------------------------------------------------------------- #
+# Tracer accounting
+# --------------------------------------------------------------------- #
+
+
+def record_mttkrp_cost(
+    tracer,
+    shape: Sequence[int],
+    n: int,
+    rank: int,
+    kind: str,
+    num_threads: int = 1,
+    cache_bytes: float | None = None,
+) -> None:
+    """Attach one MTTKRP call's analytic cost as obs counters.
+
+    Every dispatch-registered kernel calls this on entry (the analyzer's
+    RA009 rule enforces it), *before* opening its phase spans, so the
+    counters land on the innermost open span — the ``mttkrp.<method>``
+    span when the call came through :func:`repro.core.dispatch.mttkrp`,
+    the tracer-level counters on a direct kernel call (tuner probes,
+    bench suites).  Alongside the achieved flop/byte counts, every call
+    carries ``bytes_lower_bound`` — the Ballard-Rouse-Knight
+    data-movement floor for this (shape, mode, rank) — so any traced run
+    can report its achieved-vs-lower-bound byte ratio.
+
+    No-op when ``tracer`` is ``None`` or disabled, so untraced hot loops
+    pay only the guard.
+    """
+    if tracer is None or not getattr(tracer, "enabled", False):
+        return
+    if cache_bytes is None:
+        from repro.machine.model import host_model_default
+
+        cache_bytes = float(host_model_default().cache_bytes)
+    if kind in ("onestep", "onestep-seq"):
+        cost = onestep_cost(shape, n, rank, num_threads)
+    elif kind == "twostep":
+        cost = twostep_cost(shape, n, rank)
+    elif kind == "blocked":
+        cost = blocked_cost(shape, n, rank, num_threads, cache_bytes=cache_bytes)
+    elif kind == "baseline":
+        cost = baseline_cost(shape, n, rank)
+    else:
+        raise ValueError(f"unknown cost kind {kind!r}")
+    tracer.add_counter("flops", cost.flops)
+    tracer.add_counter("bytes_read", sum(p.read_bytes for p in cost.phases))
+    tracer.add_counter("bytes_written", sum(p.write_bytes for p in cost.phases))
+    tracer.add_counter(
+        "bytes_lower_bound",
+        mttkrp_comm_lower_bound(shape, n, rank, cache_bytes=cache_bytes),
+    )
 
 
 # --------------------------------------------------------------------- #

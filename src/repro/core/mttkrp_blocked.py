@@ -47,6 +47,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.flops import record_mttkrp_cost
 from repro.core.krp import krp_rows
 from repro.core.mttkrp_onestep import krp_operands
 from repro.obs import get_tracer
@@ -201,6 +202,10 @@ def mttkrp_blocked(
     n, rank = _validate(tensor, factors, n)
     T = resolve_threads(num_threads)
     t = timers if timers is not None else NULL_TIMER
+    record_mttkrp_cost(
+        get_tracer(), tensor.shape, n, rank, "blocked", T,
+        cache_bytes=cache_bytes,
+    )
     dtype = np.result_type(
         tensor.dtype, *[np.asarray(f).dtype for f in factors]
     )

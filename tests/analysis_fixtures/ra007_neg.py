@@ -1,0 +1,25 @@
+"""RA007 negative: aliases and callees stay inside the partition."""
+
+
+def _scale_block(dst, src, factor):
+    dst[:] = src * factor
+
+
+def _write_row(out, row, value):
+    out[row] = value
+
+
+def _k_partitioned_alias(worker, start, stop, data, out):
+    # The alias is carved out of the worker's own block.
+    block = out[start:stop]
+    block[:] = data[start:stop] * 2.0
+
+
+def _k_callee_gets_block(worker, start, stop, data, out):
+    # The callee only ever sees the worker's slice.
+    _scale_block(out[start:stop], data[start:stop], 2.0)
+
+
+def _k_callee_partition_index(worker, start, stop, data, out):
+    # The callee's written location is the partition bound we pass it.
+    _write_row(out, start, data[start:stop].sum())

@@ -1,0 +1,18 @@
+"""RA007 positive: escapes RA001 cannot see from one function alone."""
+
+
+def _fill_header(buf, value):
+    # Writes row 0 of whatever array it is handed.
+    buf[0] = value
+
+
+def _k_alias_escape(worker, start, stop, data, out):
+    # The reshape hides the shared root behind a fresh name; every
+    # worker then writes the same element of `out`.
+    flat = out.reshape(-1)
+    flat[0] = data[start:stop].sum()
+
+
+def _k_callee_escape(worker, start, stop, data, out):
+    # The helper writes a fixed row of the shared array it receives.
+    _fill_header(out, data[start:stop].sum())

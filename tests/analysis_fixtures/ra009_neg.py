@@ -1,0 +1,27 @@
+"""RA009 negative: every dispatched kernel accounts its cost."""
+
+
+def _cost_helper(tracer, flops, nbytes):
+    tracer.add_counter("flops", flops)
+    tracer.add_counter("bytes_read", nbytes)
+
+
+def _mttkrp_fast(tensor, factors, n, tracer):
+    # Direct counter attachment on the kernel's own span.
+    with tracer.span("fast", flops=1.0):
+        return tensor @ factors[n]
+
+
+def _mttkrp_slow(tensor, factors, n, tracer):
+    # Accounting through a helper: reachable from the kernel suffices.
+    _cost_helper(tracer, 2.0, 16.0)
+    rows = tensor.sum(axis=n)
+    return rows @ factors[n]
+
+
+def run(tensor, factors, n, tracer, method="fast"):
+    if method == "fast":
+        return _mttkrp_fast(tensor, factors, n, tracer)
+    if method == "slow":
+        return _mttkrp_slow(tensor, factors, n, tracer)
+    raise ValueError(method)

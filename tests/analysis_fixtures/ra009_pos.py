@@ -1,0 +1,18 @@
+"""RA009 positive: dispatch-registered kernels with no cost counters."""
+
+
+def _mttkrp_fast(tensor, factors, n):
+    return tensor @ factors[n]
+
+
+def _mttkrp_slow(tensor, factors, n):
+    rows = tensor.sum(axis=n)
+    return rows @ factors[n]
+
+
+def run(tensor, factors, n, method="fast"):
+    if method == "fast":
+        return _mttkrp_fast(tensor, factors, n)
+    if method == "slow":
+        return _mttkrp_slow(tensor, factors, n)
+    raise ValueError(method)

@@ -1,0 +1,43 @@
+"""RA010 negative: alphastep and betastep covered on every surface.
+
+This docstring is itself the docs surface for the fixture: it mentions
+alphastep and betastep by name, the way docs/analysis.md names the real
+dispatch methods.
+"""
+
+TOY_METHODS = (
+    "alphastep",
+    "betastep",
+)
+
+# Oracle surface: the differential oracle's explicit method list.
+ORACLE_METHODS = ("alphastep", "betastep")
+
+
+def candidate_set(shape):
+    # Tuner surface; the ":blocked" variant label normalizes to its
+    # method ("betastep"), mirroring the real tuner's candidate labels.
+    return ["alphastep", "betastep:blocked"]
+
+
+def _mttkrp_algorithms():
+    # Bench surface.
+    return {"alphastep": None, "betastep": None}
+
+
+def _run_alpha(x, tracer):
+    tracer.add_counter("flops", 1.0)
+    return x
+
+
+def _run_beta(x, tracer):
+    tracer.add_counter("flops", 1.0)
+    return x
+
+
+def run(x, tracer, method="alphastep"):
+    if method == "alphastep":
+        return _run_alpha(x, tracer)
+    if method == "betastep":
+        return _run_beta(x, tracer)
+    raise ValueError(method)

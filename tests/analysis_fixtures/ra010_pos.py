@@ -1,0 +1,28 @@
+"""RA010 positive: dispatched methods absent from every contract surface.
+
+The method names are deliberately nonsense so no real oracle test, tuner
+candidate set, bench suite, or doc page can accidentally cover them.
+"""
+
+FAKE_METHODS = (
+    "quuxstep",
+    "zorbstep",
+)
+
+
+def _run_quux(x, tracer):
+    tracer.add_counter("flops", 1.0)
+    return x
+
+
+def _run_zorb(x, tracer):
+    tracer.add_counter("flops", 1.0)
+    return x
+
+
+def run(x, tracer, method="quuxstep"):
+    if method == "quuxstep":
+        return _run_quux(x, tracer)
+    if method == "zorbstep":
+        return _run_zorb(x, tracer)
+    raise ValueError(method)

@@ -195,3 +195,78 @@ class TestShmContracts:
                 arena.view(foreign)
         finally:
             arena.close()
+
+
+class TestUfuncAtWrites:
+    """``np.add.at`` and in-place ufunc (``+=``) writes are logged.
+
+    Scatter-accumulation is exactly how a twostep reduction can race:
+    two workers ``np.add.at``-ing overlapping rows of a shared output is
+    a lost update that ordinary ``__setitem__`` logging never sees.
+    """
+
+    def test_disjoint_add_at_passes(self, pool):
+        with sanitize() as san:
+            arr = san.wrap(np.zeros(16))
+
+            def scatter(rows):
+                return lambda: np.add.at(arr, rows, 1.0)
+
+            pool.run_tasks(
+                [scatter([0, 1, 2]), scatter([8, 9, 10])],
+                label="scatter.disjoint",
+            )
+            assert np.asarray(arr)[[0, 1, 2, 8, 9, 10]].sum() == 6.0
+
+    def test_overlapping_add_at_races(self, pool):
+        with sanitize() as san:
+            arr = san.wrap(np.zeros(16))
+
+            def scatter(rows):
+                return lambda: np.add.at(arr, rows, 1.0)
+
+            with pytest.raises(RaceError) as excinfo:
+                pool.run_tasks(
+                    [scatter([0, 1, 5]), scatter([5, 6, 7])],
+                    label="scatter.overlap",
+                )
+            assert "scatter.overlap" in str(excinfo.value)
+
+    def test_add_at_result_is_correct_sequentially(self):
+        # The dispatch must still *perform* the scatter (repeated
+        # indices accumulate), not just log it.
+        with sanitize() as san:
+            arr = san.wrap(np.zeros(4))
+            np.add.at(arr, [0, 0, 2], 1.0)
+            np.testing.assert_array_equal(np.asarray(arr), [2.0, 0.0, 1.0, 0.0])
+
+    def test_overlapping_iadd_races(self, pool):
+        with sanitize() as san:
+            arr = san.wrap(np.zeros(16))
+
+            def bump(lo, hi):
+                def task():
+                    arr[lo:hi] += 1.0
+                return task
+
+            with pytest.raises(RaceError):
+                pool.run_tasks([bump(0, 10), bump(6, 16)],
+                               label="iadd.overlap")
+
+    def test_fancy_index_add_at_falls_back_to_full_extent(self, pool):
+        # Boolean-mask scatter can't be reduced to per-row spans; the
+        # conservative fallback covers the whole array, so two such
+        # writers conflict even when the masks are disjoint.  That's the
+        # documented over-approximation: noisy, never silent.
+        with sanitize() as san:
+            arr = san.wrap(np.zeros(8))
+            mask_a = np.zeros(8, dtype=bool)
+            mask_a[:2] = True
+            mask_b = np.zeros(8, dtype=bool)
+            mask_b[6:] = True
+            with pytest.raises(RaceError):
+                pool.run_tasks(
+                    [lambda: np.add.at(arr, mask_a, 1.0),
+                     lambda: np.add.at(arr, mask_b, 1.0)],
+                    label="scatter.mask",
+                )

@@ -29,7 +29,13 @@ def test_suppressions_in_tree_are_the_known_ones():
     suppressed = {
         (Path(f.path).name, f.rule) for f in findings if f.suppressed
     }
-    assert suppressed == {("mttkrp_twostep.py", "RA004")}
+    assert suppressed == {
+        ("mttkrp_twostep.py", "RA004"),
+        # onestep-seq is deliberately absent from the autotuner candidate
+        # set (strictly dominated by "onestep"); see the comment on its
+        # MTTKRP_METHODS line in core/dispatch.py.
+        ("dispatch.py", "RA010"),
+    }
 
 
 def test_blocked_kernel_is_suppression_free():
