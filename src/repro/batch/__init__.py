@@ -1,0 +1,36 @@
+"""Batched small-tensor engine: fleet MTTKRP and CP-ALS.
+
+Millions of users means millions of *small* same-shape tensors, where
+per-call Python/dispatch overhead dominates any single-tensor kernel
+win.  This package stacks a fleet into one contiguous buffer
+(:class:`~repro.batch.tensor.BatchedTensor`), runs the mode-``n``
+MTTKRP for the whole fleet through stacked GEMMs
+(:func:`~repro.batch.mttkrp.mttkrp_batched`), and decomposes every item
+simultaneously with batched ALS sweeps
+(:func:`~repro.batch.cp_als.cp_als_batched`).  See ``docs/batching.md``
+for the formulation, the empirical stacked-vs-loop crossover, and the
+arena layout.
+"""
+
+from repro.batch.cp_als import BatchedCPResult, cp_als_batched
+from repro.batch.mttkrp import (
+    BATCHED_MTTKRP_METHODS,
+    BatchPlan,
+    choose_batch_chunk,
+    mttkrp_batched,
+    mttkrp_batched_loop,
+    mttkrp_batched_stacked,
+)
+from repro.batch.tensor import BatchedTensor
+
+__all__ = [
+    "BATCHED_MTTKRP_METHODS",
+    "BatchPlan",
+    "BatchedCPResult",
+    "BatchedTensor",
+    "choose_batch_chunk",
+    "cp_als_batched",
+    "mttkrp_batched",
+    "mttkrp_batched_loop",
+    "mttkrp_batched_stacked",
+]

@@ -1,0 +1,200 @@
+"""Batched dense tensors: B same-shape tensors as one stacked buffer.
+
+The ROADMAP's fleet workload is millions of *small* same-shape tensors
+(one per user), not one huge one.  For those, per-call Python and
+dispatch overhead dominates any GEMM-level win, so the batched engine
+stores a whole fleet as a single ``(B, prod(shape))`` C-contiguous
+array whose row ``b`` is tensor ``b``'s **natural-layout** flat buffer
+— exactly the buffer a :class:`~repro.tensor.dense.DenseTensor` of the
+same shape would hold.  Every batched matricization is then a zero-copy
+reshape of the stack, and one stacked ``np.matmul`` replaces ``B``
+kernel invocations (see :mod:`repro.batch.mttkrp`).
+
+Row ``b`` aliasing a ``DenseTensor`` buffer bit-for-bit is the load-
+bearing property: :meth:`BatchedTensor.item` is a zero-copy view, and
+the batched kernels are bit-identical to the per-item loop because the
+stacked views hand BLAS the same 2-D slices the per-item kernels do.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import mode_products
+from repro.util import prod
+
+__all__ = ["BatchedTensor"]
+
+
+class BatchedTensor:
+    """``B`` same-shape dense tensors stacked as one C-contiguous array.
+
+    Parameters
+    ----------
+    data:
+        Either a 2-D ``(B, prod(shape))`` array whose rows are natural-
+        layout flat buffers (``shape`` required), or a conventional
+        ``(B, I_1, ..., I_N)`` array indexed ``[b, i_1, ..., i_N]``
+        (``shape`` omitted; each item is re-laid-out into natural
+        order, which copies).
+    shape:
+        Per-item tensor shape.  Required for 2-D ``data``; must be
+        omitted (or match) for stacked N-D ``data``.
+    """
+
+    __slots__ = ("_flat", "_shape")
+
+    def __init__(
+        self, data: np.ndarray, shape: Sequence[int] | None = None
+    ) -> None:
+        arr = np.asarray(data)
+        if shape is not None:
+            shape = tuple(int(s) for s in shape)
+            if arr.ndim != 2:
+                raise ValueError(
+                    f"flat batched data must be 2-D (B, prod(shape)), "
+                    f"got {arr.ndim}-D"
+                )
+            if arr.shape[1] != prod(shape):
+                raise ValueError(
+                    f"flat rows have {arr.shape[1]} entries, shape "
+                    f"{shape} needs {prod(shape)}"
+                )
+            flat = np.ascontiguousarray(arr)
+        else:
+            if arr.ndim < 3:
+                raise ValueError(
+                    "batched data without an explicit shape must be "
+                    f"(B, I_1, ..., I_N) with N >= 2, got {arr.ndim}-D"
+                )
+            shape = arr.shape[1:]
+            # Per-item Fortran ravel: item b's natural-layout buffer is
+            # arr[b].ravel(order="F"), i.e. the reversed-axes C ravel.
+            perm = (0,) + tuple(range(arr.ndim - 1, 0, -1))
+            flat = np.ascontiguousarray(
+                arr.transpose(perm).reshape(arr.shape[0], -1)
+            )
+        if len(shape) < 2:
+            raise ValueError("batched tensors must be order >= 2")
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"all dimensions must be positive, got {shape}")
+        if flat.shape[0] < 1:
+            raise ValueError("batch must hold at least one tensor")
+        self._flat = flat
+        self._shape = tuple(int(s) for s in shape)
+
+    # ----------------------------------------------------------------- #
+    # Construction helpers
+    # ----------------------------------------------------------------- #
+
+    @classmethod
+    def from_tensors(cls, tensors: Sequence[DenseTensor]) -> "BatchedTensor":
+        """Stack same-shape :class:`DenseTensor` items (copies once)."""
+        if not tensors:
+            raise ValueError("from_tensors needs at least one tensor")
+        shape = tensors[0].shape
+        for i, t in enumerate(tensors):
+            if not isinstance(t, DenseTensor):
+                raise TypeError(
+                    f"item {i} is {type(t).__name__}, expected DenseTensor"
+                )
+            if t.shape != shape:
+                raise ValueError(
+                    f"item {i} has shape {t.shape}, expected {shape}"
+                )
+        return cls(np.stack([t.data for t in tensors]), shape)
+
+    # ----------------------------------------------------------------- #
+    # Properties
+    # ----------------------------------------------------------------- #
+
+    @property
+    def flat(self) -> np.ndarray:
+        """The ``(B, prod(shape))`` C-contiguous stack (mutable view)."""
+        return self._flat
+
+    @property
+    def batch(self) -> int:
+        return self._flat.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Per-item tensor shape."""
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        """Per-item order."""
+        return len(self._shape)
+
+    @property
+    def size(self) -> int:
+        """Entries per item."""
+        return self._flat.shape[1]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._flat.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self._flat.nbytes
+
+    # ----------------------------------------------------------------- #
+    # Views
+    # ----------------------------------------------------------------- #
+
+    def item(self, b: int) -> DenseTensor:
+        """Tensor ``b`` as a zero-copy :class:`DenseTensor` view."""
+        b = int(b)
+        if not -self.batch <= b < self.batch:
+            raise IndexError(f"item {b} out of range for batch {self.batch}")
+        return DenseTensor(self._flat[b], self._shape)
+
+    def to_ndarray(self) -> np.ndarray:
+        """Conventional ``(B, I_1, ..., I_N)`` view (zero-copy)."""
+        rev = self._flat.reshape((self.batch,) + self._shape[::-1])
+        return rev.transpose((0,) + tuple(range(self.ndim, 0, -1)))
+
+    def unfold_mode0(self) -> np.ndarray:
+        """Batched mode-0 matricization: ``(B, I_0, prod(I_1..))``.
+
+        Each 2-D slice is the item's F-order ``unfold_mode0`` view.
+        """
+        p = mode_products(self._shape, 0)
+        return self._flat.reshape(self.batch, p.other, p.size).transpose(
+            0, 2, 1
+        )
+
+    def unfold_last(self) -> np.ndarray:
+        """Batched last-mode matricization: ``(B, I_{N-1}, prod(..I_{N-2}))``."""
+        p = mode_products(self._shape, self.ndim - 1)
+        return self._flat.reshape(self.batch, p.size, p.left)
+
+    def mode_blocks(self, n: int) -> np.ndarray:
+        """Batched block view ``(B, I^R_n, I_n, I^L_n)`` for mode ``n``."""
+        p = mode_products(self._shape, n)
+        return self._flat.reshape(self.batch, p.right, p.size, p.left)
+
+    # ----------------------------------------------------------------- #
+    # Misc
+    # ----------------------------------------------------------------- #
+
+    def norms(self) -> np.ndarray:
+        """Per-item Frobenius norms, shape ``(B,)``."""
+        return np.linalg.norm(self._flat, axis=1)
+
+    def copy(self) -> "BatchedTensor":
+        return BatchedTensor(self._flat.copy(), self._shape)
+
+    def astype(self, dtype) -> "BatchedTensor":
+        return BatchedTensor(self._flat.astype(dtype), self._shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchedTensor(batch={self.batch}, shape={self._shape}, "
+            f"dtype={self.dtype})"
+        )

@@ -4,7 +4,7 @@ Subcommands::
 
     repro-bench list [--tag TAG]
     repro-bench run NAME... [--scale S] [--threads 1,2] [--repeats K]
-                            [--rng SEED] [--out FILE]
+                            [--rng SEED] [--out FILE] [--root-summary]
     repro-bench trend [--results DIR] [--current FILE] [--baseline best|latest]
                       [--tolerance F] [--abs-floor S] [--json FILE]
     repro-bench migrate [--results DIR] [--keep-legacy]
@@ -13,7 +13,12 @@ Subcommands::
 and writes one normalized results file (default
 ``results/current.bench.json`` — deliberately *not* part of committed
 history; promote a run by renaming it to ``<something>.bench.json`` you
-commit).  ``trend`` then diffs that file against the committed history
+commit).  ``--root-summary`` additionally writes one repo-root
+``BENCH_<suite>.json`` schema-v1 envelope per benchmark run — a
+stable, discoverable snapshot of each suite's latest numbers
+(``load_history`` only globs ``*.bench.json`` inside the results
+directory, so the root summaries never pollute trend baselines).
+``trend`` then diffs the current file against the committed history
 and exits with status ``3`` naming the regressed benchmarks.
 
 Also reachable as ``python -m repro.bench``.
@@ -59,6 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--rng", type=int, default=0, help="random seed")
     p_run.add_argument("--out", default=DEFAULT_CURRENT,
                        help=f"results file to write (default: {DEFAULT_CURRENT})")
+    p_run.add_argument("--root-summary", action="store_true",
+                       help="also write one repo-root BENCH_<suite>.json "
+                            "envelope per benchmark")
 
     p_trend = sub.add_parser(
         "trend", help="diff a current run against committed history")
@@ -123,8 +131,18 @@ def _cmd_run(args) -> int:
     path = write_results(args.out, records, meta={
         "benchmarks": list(args.names),
         "invocation": "repro-bench run",
+        "host_class": host_class(),
     })
     print(f"{len(records)} record(s) -> {path}")
+    if args.root_summary:
+        for name in args.names:
+            summary = [r for r in records if r["benchmark"] == name]
+            summary_path = write_results(f"BENCH_{name}.json", summary, meta={
+                "benchmarks": [name],
+                "invocation": "repro-bench run --root-summary",
+                "host_class": host_class(),
+            })
+            print(f"{len(summary)} record(s) -> {summary_path}")
     for record in records:
         timing = record["timing"]
         print(f"  {record['benchmark']}:{record['case']}  "

@@ -490,3 +490,87 @@ def _run_ablations(scale, threads, repeats, rng):
             repeats=repeats,
         ))
     return records
+
+
+# --------------------------------------------------------------------- #
+# Batched small-tensor engine (PR 9)
+# --------------------------------------------------------------------- #
+
+
+@register(
+    "batch",
+    title="Batched fleet engine: stacked MTTKRP vs per-item loop, fleet CP-ALS",
+    tags=("mttkrp", "cpals", "batch"),
+    default_scale=1.0,
+)
+def _run_batch(scale, threads, repeats, rng):
+    """Fleet cases at B in {16, 64, 256} (scaled) over one small shape.
+
+    The ``per-item`` case is the pre-batching baseline — ``B`` separate
+    dispatch calls — so the stacked/per-item ratio is the amortization
+    the engine exists to deliver.
+    """
+    from repro.batch import BatchedTensor, cp_als_batched, mttkrp_batched
+    from repro.core.dispatch import mttkrp
+    from repro.parallel.workspace import Workspace
+    from repro.util import prod
+
+    shape, rank, mode = (10, 9, 8), 8, 1
+    gen = np.random.default_rng(rng)
+    records = []
+    sizes = sorted({max(int(round(b * scale)), 2) for b in (16, 64, 256)})
+    T = max(threads)
+    for B in sizes:
+        bt = BatchedTensor(gen.standard_normal((B, prod(shape))), shape)
+        factors = [gen.standard_normal((B, s, rank)) for s in shape]
+        items = [bt.item(b) for b in range(B)]
+        item_factors = [[f[b] for f in factors] for b in range(B)]
+        with Workspace() as ws:
+            for method in ("batched", "batched-loop"):
+                records.append(measure_case(
+                    "batch", f"mttkrp/B{B}/{method}",
+                    lambda method=method, bt=bt, factors=factors, ws=ws:
+                        mttkrp_batched(
+                            bt, factors, mode, method=method, workspace=ws
+                        ),
+                    params={"shape": list(shape), "rank": rank,
+                            "mode": mode, "batch": B, "method": method,
+                            "threads": 1},
+                    repeats=repeats,
+                ))
+
+        def per_item_loop(items=items, item_factors=item_factors):
+            for X, U in zip(items, item_factors):
+                mttkrp(X, U, mode, method="onestep", num_threads=1)
+
+        records.append(measure_case(
+            "batch", f"mttkrp/B{B}/per-item",
+            per_item_loop,
+            params={"shape": list(shape), "rank": rank, "mode": mode,
+                    "batch": B, "method": "per-item", "threads": 1},
+            repeats=repeats,
+        ))
+
+    # Fleet CP-ALS throughput: decompositions per second at a fixed
+    # sweep count (tol<=0 disables early stopping so every item does
+    # identical work).
+    B = sizes[-1]
+    bt = BatchedTensor(gen.standard_normal((B, prod(shape))), shape)
+    iters = 5
+    record = measure_case(
+        "batch", f"cpals/B{B}",
+        lambda bt=bt: cp_als_batched(
+            bt, rank, n_iter_max=iters, tol=-1.0,
+            rng=np.random.default_rng(0), num_threads=T,
+        ),
+        params={"shape": list(shape), "rank": rank, "batch": B,
+                "iterations": iters, "threads": T},
+        repeats=max(repeats, 2),
+    )
+    seconds = record["timing"]["min_s"]
+    if seconds > 0:
+        record.setdefault("counters", {})["decompositions_per_second"] = (
+            B / seconds
+        )
+    records.append(record)
+    return records

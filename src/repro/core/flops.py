@@ -33,6 +33,7 @@ __all__ = [
     "twostep_cost",
     "baseline_cost",
     "blocked_cost",
+    "batched_cost",
     "gemm_lower_bound_cost",
     "mttkrp_comm_lower_bound",
     "multi_ttv_cost",
@@ -421,6 +422,44 @@ def blocked_cost(
     return AlgorithmCost("blocked", tuple(_merge(phases)))
 
 
+def batched_cost(
+    shape: Sequence[int], n: int, C: int, batch: int, num_threads: int = 1
+) -> AlgorithmCost:
+    """Cost of the batched MTTKRP (:mod:`repro.batch.mttkrp`).
+
+    Per item: a full KRP panel (reuse schedule, materialized into the
+    chunk buffer) and the mode-``n`` GEMM; internal modes add the
+    pre-reduction product traffic and the block-axis sum.  Scaled by
+    ``batch``.  Workers own disjoint batch blocks, so unlike the
+    single-tensor kernels there is **no** reduction term at any ``T``.
+    """
+    shape = [int(s) for s in shape]
+    N = len(shape)
+    C = int(C)
+    batch = int(batch)
+    p = mode_products(shape, n)
+    other_dims = [shape[k] for k in range(N - 1, -1, -1) if k != n]
+    phases = [
+        krp_cost(other_dims, C)._replace_name("full_krp"),
+        gemm_cost(p.size, C, p.other),
+    ]
+    if 0 < n < N - 1:
+        # The (I^R_n, I_n, C) product is written by the batched GEMM and
+        # re-read by the block-axis sum ((I^R_n - 1) * I_n * C adds).
+        entries = p.right * p.size * C
+        phases.append(
+            PhaseCost(
+                "reduce",
+                float(max(p.right - 1, 0) * p.size * C),
+                float(entries * _DOUBLE),
+                float(entries * _DOUBLE),
+            )
+        )
+    return AlgorithmCost(
+        "batched", tuple(q.scaled(batch) for q in _merge(phases))
+    )
+
+
 # --------------------------------------------------------------------- #
 # Tracer accounting
 # --------------------------------------------------------------------- #
@@ -434,6 +473,7 @@ def record_mttkrp_cost(
     kind: str,
     num_threads: int = 1,
     cache_bytes: float | None = None,
+    batch: int = 1,
 ) -> None:
     """Attach one MTTKRP call's analytic cost as obs counters.
 
@@ -446,6 +486,11 @@ def record_mttkrp_cost(
     carries ``bytes_lower_bound`` — the Ballard-Rouse-Knight
     data-movement floor for this (shape, mode, rank) — so any traced run
     can report its achieved-vs-lower-bound byte ratio.
+
+    ``batch`` scales the batched kind (``kind="batched"``, both the
+    stacked and loop lanes of :mod:`repro.batch.mttkrp`) and the lower
+    bound by the number of stacked items; single-tensor kinds leave it
+    at 1.
 
     No-op when ``tracer`` is ``None`` or disabled, so untraced hot loops
     pay only the guard.
@@ -464,6 +509,8 @@ def record_mttkrp_cost(
         cost = blocked_cost(shape, n, rank, num_threads, cache_bytes=cache_bytes)
     elif kind == "baseline":
         cost = baseline_cost(shape, n, rank)
+    elif kind == "batched":
+        cost = batched_cost(shape, n, rank, batch, num_threads)
     else:
         raise ValueError(f"unknown cost kind {kind!r}")
     tracer.add_counter("flops", cost.flops)
@@ -471,7 +518,8 @@ def record_mttkrp_cost(
     tracer.add_counter("bytes_written", sum(p.write_bytes for p in cost.phases))
     tracer.add_counter(
         "bytes_lower_bound",
-        mttkrp_comm_lower_bound(shape, n, rank, cache_bytes=cache_bytes),
+        float(batch)
+        * mttkrp_comm_lower_bound(shape, n, rank, cache_bytes=cache_bytes),
     )
 
 

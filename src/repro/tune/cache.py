@@ -70,6 +70,11 @@ class TuneKey:
     ``backend`` is part of the key because the two backends have different
     region-launch and marshalling costs: a decision measured under the
     process backend must not be served to a thread-backend caller.
+
+    ``batch`` is the number of stacked same-shape tensors the decision
+    was measured for (:mod:`repro.tune.batched`); single-tensor kernels
+    keep the default of 1, so their keys are unaffected by fleet-sized
+    entries sharing the cache.
     """
 
     shape: tuple[int, ...]
@@ -78,6 +83,7 @@ class TuneKey:
     num_threads: int
     backend: str
     dtype: str
+    batch: int = 1
 
     @classmethod
     def make(
@@ -88,6 +94,7 @@ class TuneKey:
         num_threads: int,
         backend: str,
         dtype,
+        batch: int = 1,
     ) -> "TuneKey":
         return cls(
             shape=tuple(int(s) for s in shape),
@@ -96,6 +103,7 @@ class TuneKey:
             num_threads=int(num_threads),
             backend=str(backend),
             dtype=np.dtype(dtype).name,
+            batch=int(batch),
         )
 
     def to_str(self) -> str:
@@ -104,7 +112,7 @@ class TuneKey:
         return (
             f"shape={dims};rank={self.rank};mode={self.mode};"
             f"threads={self.num_threads};backend={self.backend};"
-            f"dtype={self.dtype}"
+            f"dtype={self.dtype};batch={self.batch}"
         )
 
 

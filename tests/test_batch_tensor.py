@@ -1,0 +1,130 @@
+"""BatchedTensor: stacking, layout round-trips, views and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchedTensor
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import mode_products
+from repro.util import prod
+
+
+def _conventional(rng, B, shape):
+    return rng.standard_normal((B,) + tuple(shape))
+
+
+def test_flat_construction_round_trips():
+    rng = np.random.default_rng(0)
+    shape = (4, 3, 5)
+    flat = rng.standard_normal((6, prod(shape)))
+    bt = BatchedTensor(flat, shape)
+    assert bt.batch == 6
+    assert bt.shape == shape
+    assert bt.ndim == 3
+    assert bt.size == prod(shape)
+    assert bt.nbytes == flat.nbytes
+    assert np.shares_memory(bt.flat, bt.to_ndarray())
+    np.testing.assert_array_equal(bt.flat, flat)
+
+
+@pytest.mark.parametrize("shape", [(3, 4), (2, 3, 4), (2, 3, 2, 2)])
+def test_conventional_construction_matches_dense_tensor(shape):
+    """(B, I_1..I_N) input must give each item DenseTensor's layout."""
+    rng = np.random.default_rng(1)
+    arr = _conventional(rng, 5, shape)
+    bt = BatchedTensor(arr)
+    assert bt.shape == tuple(shape)
+    for b in range(5):
+        ref = DenseTensor(arr[b])
+        item = bt.item(b)
+        np.testing.assert_array_equal(item.data, ref.data)
+        np.testing.assert_array_equal(item.to_ndarray(), arr[b])
+
+
+def test_item_is_zero_copy():
+    rng = np.random.default_rng(2)
+    bt = BatchedTensor(rng.standard_normal((3, 12)), (4, 3))
+    item = bt.item(1)
+    assert np.shares_memory(item.data, bt.flat)
+    bt.flat[1, 0] = 123.0
+    assert item.data[0] == 123.0
+
+
+def test_from_tensors_stacks_items():
+    rng = np.random.default_rng(3)
+    tensors = [
+        DenseTensor(rng.standard_normal((3, 2, 4))) for _ in range(4)
+    ]
+    bt = BatchedTensor.from_tensors(tensors)
+    assert bt.batch == 4
+    for b, t in enumerate(tensors):
+        np.testing.assert_array_equal(bt.item(b).data, t.data)
+
+
+def test_from_tensors_rejects_mismatches():
+    rng = np.random.default_rng(4)
+    good = DenseTensor(rng.standard_normal((3, 2)))
+    with pytest.raises(ValueError, match="at least one"):
+        BatchedTensor.from_tensors([])
+    with pytest.raises(TypeError, match="expected DenseTensor"):
+        BatchedTensor.from_tensors([good, np.zeros((3, 2))])
+    with pytest.raises(ValueError, match="shape"):
+        BatchedTensor.from_tensors(
+            [good, DenseTensor(rng.standard_normal((2, 3)))]
+        )
+
+
+def test_unfold_views_match_per_item_unfolds():
+    rng = np.random.default_rng(5)
+    shape = (4, 3, 5)
+    arr = _conventional(rng, 3, shape)
+    bt = BatchedTensor(arr)
+    m0 = bt.unfold_mode0()
+    last = bt.unfold_last()
+    p1 = mode_products(shape, 1)
+    blocks = bt.mode_blocks(1)
+    for b in range(3):
+        item = bt.item(b)
+        np.testing.assert_array_equal(m0[b], item.unfold_mode0())
+        np.testing.assert_array_equal(last[b], item.unfold_last())
+        np.testing.assert_array_equal(
+            blocks[b], item.mode_blocks_view(1)
+        )
+    assert blocks.shape == (3, p1.right, p1.size, p1.left)
+
+
+def test_norms_match_item_norms():
+    rng = np.random.default_rng(6)
+    bt = BatchedTensor(rng.standard_normal((4, 24)), (4, 6))
+    norms = bt.norms()
+    for b in range(4):
+        assert norms[b] == pytest.approx(bt.item(b).norm())
+
+
+def test_copy_and_astype():
+    rng = np.random.default_rng(7)
+    bt = BatchedTensor(rng.standard_normal((2, 6)), (2, 3))
+    dup = bt.copy()
+    assert not np.shares_memory(dup.flat, bt.flat)
+    np.testing.assert_array_equal(dup.flat, bt.flat)
+    f32 = bt.astype(np.float32)
+    assert f32.dtype == np.float32
+    assert f32.shape == bt.shape
+
+
+def test_validation_errors():
+    rng = np.random.default_rng(8)
+    with pytest.raises(ValueError, match="2-D"):
+        BatchedTensor(rng.standard_normal((2, 3, 4)), (3, 4))
+    with pytest.raises(ValueError, match="entries"):
+        BatchedTensor(rng.standard_normal((2, 11)), (3, 4))
+    with pytest.raises(ValueError, match="order >= 2"):
+        BatchedTensor(rng.standard_normal((2, 5)), (5,))
+    with pytest.raises(ValueError, match="positive"):
+        BatchedTensor(rng.standard_normal((2, 0)), (0, 2))
+    with pytest.raises(ValueError, match="N >= 2"):
+        BatchedTensor(rng.standard_normal((2, 5)))
+    with pytest.raises(ValueError, match="at least one tensor"):
+        BatchedTensor(rng.standard_normal((0, 6)), (2, 3))
