@@ -7,12 +7,17 @@ win.  This package stacks a fleet into one contiguous buffer
 MTTKRP for the whole fleet through stacked GEMMs
 (:func:`~repro.batch.mttkrp.mttkrp_batched`), and decomposes every item
 simultaneously with batched ALS sweeps
-(:func:`~repro.batch.cp_als.cp_als_batched`).  See ``docs/batching.md``
-for the formulation, the empirical stacked-vs-loop crossover, and the
+(:func:`~repro.batch.cp_als.cp_als_batched`).  Ad-hoc groups of
+independent jobs — each with its own tensor and seed — enter through
+:func:`~repro.batch.fleet.cp_als_fleet`, which stacks them with
+per-item seeded initialization (the entry the job service's coalescing
+scheduler uses; see ``docs/serving.md``).  See ``docs/batching.md`` for
+the formulation, the empirical stacked-vs-loop crossover, and the
 arena layout.
 """
 
 from repro.batch.cp_als import BatchedCPResult, cp_als_batched
+from repro.batch.fleet import cp_als_fleet, stack_seeded_init
 from repro.batch.mttkrp import (
     BATCHED_MTTKRP_METHODS,
     BatchPlan,
@@ -30,6 +35,8 @@ __all__ = [
     "BatchedTensor",
     "choose_batch_chunk",
     "cp_als_batched",
+    "cp_als_fleet",
+    "stack_seeded_init",
     "mttkrp_batched",
     "mttkrp_batched_loop",
     "mttkrp_batched_stacked",

@@ -94,6 +94,7 @@ def cp_als_batched(
     rng: np.random.Generator | int | None = None,
     workspace=None,
     tune: bool = False,
+    cancel: "CancelToken | None" = None,
 ) -> BatchedCPResult:
     """Fit a rank-``C`` CP decomposition to every item of a batch.
 
@@ -130,6 +131,13 @@ def cp_als_batched(
         Resolve the stacked-vs-loop crossover once up front via
         :func:`repro.tune.batched.autotune_batched` and use that lane
         for every iteration (overrides ``method``).
+    cancel:
+        Optional :class:`~repro.util.cancel.CancelToken` polled at every
+        *fleet* iteration boundary (the whole batch advances in
+        lock-step, so cancellation is fleet-granular here; per-item
+        retirement is what the convergence mask is for).  The token's
+        ``on_progress(iteration, fit)`` hook receives the mean fit over
+        the items still active this iteration.
 
     Returns
     -------
@@ -223,6 +231,8 @@ def cp_als_batched(
             method = record.method
             ws.release("tune.")
         try:
+            if cancel is not None:
+                cancel.raise_if_cancelled()
             for it in range(n_iter_max):
                 idx = np.flatnonzero(active)
                 m = idx.size
@@ -280,6 +290,12 @@ def cp_als_batched(
                         converged[idx[done]] = True
                         active[idx[done]] = False
                     previous_fit[idx] = fit
+                    # Fleet iteration boundary: stream the active-set
+                    # mean fit, then honour cancellation/deadline.
+                    if cancel is not None:
+                        if cancel.on_progress is not None:
+                            cancel.on_progress(it, float(np.mean(fit)))
+                        cancel.raise_if_cancelled()
         finally:
             if own_ws:
                 ws.close()

@@ -574,3 +574,76 @@ def _run_batch(scale, threads, repeats, rng):
         )
     records.append(record)
     return records
+
+
+# --------------------------------------------------------------------- #
+# Decomposition service (PR 10)
+# --------------------------------------------------------------------- #
+
+
+@register(
+    "serve",
+    title="Decomposition service: job throughput and latency, solo vs "
+          "coalesced",
+    tags=("serve", "cpals", "batch"),
+    default_scale=1.0,
+    default_repeats=3,
+)
+def _run_serve(scale, threads, repeats, rng):
+    """Burst-of-jobs cases through a live :class:`JobServer`.
+
+    Each case submits one burst of identical-class tiny jobs and waits
+    for every result, once with the coalescing scheduler off (``solo`` —
+    every job is its own dispatch) and once on (``coalesced`` — the
+    burst rides few fleet invocations).  The measured quantity is the
+    full service path: admission, queueing, dispatch, worker compute,
+    result marshalling.  Counters carry jobs/s plus the server's own
+    wait/run latency percentiles, and the burst size doubles as the
+    experienced queue depth (``params["burst"]``).
+    """
+    from repro.serve import JobServer, JobSpec, ServeConfig
+    from repro.tensor.dense import DenseTensor
+
+    shape, rank, iters = (6, 5, 4), 4, 3
+    gen = np.random.default_rng(rng)
+    bursts = sorted({max(int(round(b * scale)), 2) for b in (8, 32)})
+    records = []
+    for burst in bursts:
+        tensors = [
+            DenseTensor(gen.standard_normal(shape)) for _ in range(burst)
+        ]
+        for mode, batching in (("solo", False), ("coalesced", True)):
+            with JobServer(ServeConfig(
+                workers=2, queue_depth=burst + 1, batching=batching,
+                batch_limit=burst, progress_every=0,
+            )) as server:
+
+                def one_burst(server=server, tensors=tensors):
+                    handles = [
+                        server.submit(JobSpec(
+                            rank=rank, tensor=t, seed=i, n_iter_max=iters,
+                            tol=-1.0,
+                        ))
+                        for i, t in enumerate(tensors)
+                    ]
+                    for handle in handles:
+                        handle.result(timeout=300.0)
+
+                record = measure_case(
+                    "serve", f"burst/{mode}/B{burst}",
+                    one_burst,
+                    params={"shape": list(shape), "rank": rank,
+                            "burst": burst, "mode": mode,
+                            "iterations": iters, "workers": 2},
+                    repeats=repeats,
+                )
+                stats = server.stats()
+                seconds = record["timing"]["min_s"]
+                counters = record.setdefault("counters", {})
+                if seconds > 0:
+                    counters["jobs_per_second"] = burst / seconds
+                for key in ("wait_p50", "wait_p99", "run_p50", "run_p99"):
+                    counters[key] = stats[key]
+                counters["coalesced_jobs"] = float(stats["coalesced_jobs"])
+                records.append(record)
+    return records

@@ -105,6 +105,7 @@ def cp_als(
     verbose: bool = False,
     workspace: "Workspace | None" = None,
     tune: bool = False,
+    cancel: "CancelToken | None" = None,
 ) -> CPALSResult:
     """Fit a rank-``C`` CP decomposition with alternating least squares.
 
@@ -167,6 +168,14 @@ def cp_als(
         ``method``).  Decisions come from / go to the persisted tuning
         cache, so only the first run on a new configuration pays
         measurement time; the picks are recorded in ``result.tuning``.
+    cancel:
+        Optional :class:`~repro.util.cancel.CancelToken` polled at every
+        iteration boundary: a cancelled token (or an expired deadline)
+        raises :class:`~repro.util.cancel.Cancelled` /
+        :class:`~repro.util.cancel.DeadlineExceeded` *between* iterations
+        — never mid-kernel, so no factor update is ever torn.  The
+        token's ``on_progress(iteration, fit)`` hook, if set, fires once
+        per iteration before the check (progress streaming for services).
 
     Returns
     -------
@@ -320,6 +329,8 @@ def cp_als(
                 mode_kwargs[n]["workspace"] = ws
                 mode_kwargs[n]["executor"] = executor
         try:
+            if cancel is not None:
+                cancel.raise_if_cancelled()
             for it in range(n_iter_max):
                 with tracer.span(f"iter[{it}]"):
                     t_start = wall_time()
@@ -394,10 +405,17 @@ def cp_als(
                     result.iterations = it + 1
                     if verbose:
                         print(f"iter {it + 1:3d}: fit = {fit:.8f}")
+                    # Iteration boundary: stream progress first (so the
+                    # final fit is observable even when the next line
+                    # stops the run), then honour cancellation/deadline.
+                    if cancel is not None and cancel.on_progress is not None:
+                        cancel.on_progress(it, float(fit))
                     if tol > 0 and abs(fit - previous_fit) < tol:
                         result.converged = True
                         break
                     previous_fit = fit
+                    if cancel is not None:
+                        cancel.raise_if_cancelled()
         finally:
             if own_ws and ws is not None:
                 ws.close()

@@ -30,6 +30,7 @@ from repro.parallel.backend import (
     ProcessExecutor,
     ThreadExecutor,
     get_executor,
+    reset_worker_runtime_state,
     shutdown_all_executors,
 )
 from repro.parallel.blas import blas_threads, get_blas_threads, set_blas_threads
@@ -59,6 +60,7 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "get_executor",
+    "reset_worker_runtime_state",
     "shutdown_all_executors",
     "ShmArena",
     "ShmHandle",

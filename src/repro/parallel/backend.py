@@ -63,6 +63,7 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "get_executor",
+    "reset_worker_runtime_state",
     "shutdown_all_executors",
 ]
 
@@ -522,16 +523,32 @@ def _revive_exception(exc_bytes, exc_repr: str, tb_text: str) -> BaseException:
 # --------------------------------------------------------------------- #
 
 
-def _reset_inherited_runtime_state() -> None:
-    """Give a (possibly forked) worker a clean parallel/obs runtime.
+def reset_worker_runtime_state(
+    *,
+    num_threads: int | None = 1,
+    blas_threads: int | None = 1,
+    leaf_worker: bool = True,
+) -> None:
+    """Give a (possibly forked) worker process a clean parallel/obs runtime.
 
     Under ``fork`` the child inherits the parent's pool caches (whose
-    threads do not exist here), executor caches (whose pipes belong to the
-    parent), and active tracer.  All are reset; kernels inside a worker
-    run sequentially.
+    threads do not exist here), executor caches (whose pipes belong to
+    the parent), and active tracer.  All are reset.  Two kinds of worker
+    call this:
+
+    * **executor workers** (:func:`_worker_main`, the leaves of a
+      :class:`ProcessExecutor` team) — the defaults: one thread, one
+      BLAS thread, and ``leaf_worker=True`` so nested process teams are
+      forbidden;
+    * **service workers** (:mod:`repro.serve.worker`) — intermediate
+      processes that *run whole decompositions* and may legitimately
+      spawn their own executor teams: they pass ``leaf_worker=False``
+      and leave the thread counts to the job's resource budget
+      (``num_threads=None`` keeps the inherited package default, so a
+      job's result matches a direct in-parent call bit-for-bit).
     """
     global _IN_WORKER
-    _IN_WORKER = True
+    _IN_WORKER = bool(leaf_worker)
     from repro.obs import tracer as tracer_mod
     from repro.parallel import pool as pool_mod
     from repro.parallel.config import set_num_threads
@@ -540,15 +557,17 @@ def _reset_inherited_runtime_state() -> None:
         _executor_cache.clear()
     pool_mod._pool_cache.clear()
     tracer_mod.disable()
-    set_num_threads(1)
-    try:
-        # One BLAS thread per worker process: the team supplies the
-        # parallelism, and T workers x T BLAS threads would oversubscribe.
-        from repro.parallel.blas import set_blas_threads
+    if num_threads is not None:
+        set_num_threads(num_threads)
+    if blas_threads is not None:
+        try:
+            # One BLAS thread per leaf worker: the team supplies the
+            # parallelism; T workers x T BLAS threads would oversubscribe.
+            from repro.parallel.blas import set_blas_threads
 
-        set_blas_threads(1)
-    except Exception:  # pragma: no cover - best-effort
-        pass
+            set_blas_threads(blas_threads)
+        except Exception:  # pragma: no cover - best-effort
+            pass
 
 
 def _resolve(spec, cache):
@@ -574,7 +593,7 @@ def _dump_spans(tracer) -> tuple[list, dict]:
 
 
 def _worker_main(rank: int, conn, cursor) -> None:
-    _reset_inherited_runtime_state()
+    reset_worker_runtime_state()
     from repro.obs.tracer import Tracer, disable as tracer_disable, enable as tracer_enable
 
     attachments: dict = {}

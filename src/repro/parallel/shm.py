@@ -114,7 +114,12 @@ class ShmArena:
         if self._closed:
             raise RuntimeError("arena has been closed")
         self._counter += 1
-        name = f"{self._prefix}_{id(self):x}_{self._counter}"
+        # The allocating pid is part of the name: ``id(self)`` alone is
+        # unique only within one process, and two sibling processes (e.g.
+        # serve workers forked from the same parent) can hold arenas at
+        # the same heap address with the same counter — a collision in
+        # the kernel-wide shm namespace.
+        name = f"{self._prefix}_{os.getpid():x}_{id(self):x}_{self._counter}"
         seg = shared_memory.SharedMemory(name=name, create=True, size=max(nbytes, 1))
         self._segments[seg.name] = seg
         return seg

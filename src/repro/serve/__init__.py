@@ -1,0 +1,48 @@
+"""Decomposition-as-a-service: an async multi-tenant CP-ALS job server.
+
+Public surface:
+
+* :class:`~repro.serve.server.JobServer` / :class:`~repro.serve.server.ServeConfig`
+  — the synchronous core: bounded priority queue, admission control,
+  coalescing scheduler, worker-process pool with death detection and
+  respawn, per-job metrics;
+* :class:`~repro.serve.job.JobSpec` and friends — the job vocabulary
+  and typed error hierarchy;
+* :class:`~repro.serve.api.AsyncJobServer`, :func:`~repro.serve.api.serve_unix`,
+  :func:`~repro.serve.api.request` — asyncio facade and unix-socket
+  JSON-lines protocol (the ``repro-serve`` CLI speaks it).
+
+See ``docs/serving.md`` for the architecture and guarantees.
+"""
+
+from repro.serve.job import (
+    AdmissionError,
+    BudgetError,
+    JobNotFoundError,
+    JobResult,
+    JobSpec,
+    JobState,
+    JobStatus,
+    QueueFullError,
+    ServeError,
+    ServerClosedError,
+)
+from repro.serve.queue import PriorityJobQueue
+from repro.serve.server import JobHandle, JobServer, ServeConfig
+
+__all__ = [
+    "JobServer",
+    "ServeConfig",
+    "JobHandle",
+    "JobSpec",
+    "JobState",
+    "JobStatus",
+    "JobResult",
+    "PriorityJobQueue",
+    "ServeError",
+    "AdmissionError",
+    "BudgetError",
+    "QueueFullError",
+    "JobNotFoundError",
+    "ServerClosedError",
+]

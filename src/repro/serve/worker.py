@@ -1,0 +1,354 @@
+"""Service worker processes: run decompositions, stream progress, survive.
+
+One :class:`WorkerHandle` per pool slot.  The child process
+(:func:`serve_worker_main`) is deliberately simple — a message loop that
+runs **one job at a time** on a private thread while the loop itself
+keeps polling the pipe, so cancellation messages land mid-run and are
+delivered to the job through its :class:`~repro.util.cancel.CancelToken`
+(checked by the drivers at iteration boundaries).
+
+Robustness contract (the fault-injection suite pins this):
+
+* a worker process dying mid-job — SIGKILL, OOM, segfault — is detected
+  by the parent tender through the pipe + liveness probe
+  (:meth:`WorkerHandle.recv`), fails **only the job(s) it was running**
+  with a :class:`~repro.parallel.pool.WorkerError` whose ``__cause__``
+  records the death, and the handle respawns a fresh process
+  (:meth:`WorkerHandle.respawn`) so the pool keeps serving;
+* a Python exception *inside* a job (singular solve, bad ref file) is
+  caught in the worker, shipped back pickled, and fails only that job —
+  the process survives and takes the next one.
+
+Workers are **not** daemonic: a job is allowed to use the process
+backend, and :class:`multiprocessing` forbids daemonic processes from
+having children.  The server guarantees teardown instead (shutdown
+protocol + terminate/kill escalation + atexit sweep).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+import traceback
+from contextlib import nullcontext
+
+import numpy as np
+
+from repro.parallel.pool import WorkerError
+
+__all__ = ["WorkerHandle", "WorkerDied", "serve_worker_main"]
+
+_clock = time.monotonic
+
+
+class WorkerDied(RuntimeError):
+    """Parent-side signal: the worker process is gone (raised by recv)."""
+
+    def __init__(self, rank: int, detail: str) -> None:
+        super().__init__(f"serve worker {rank} died: {detail}")
+        self.rank = rank
+        self.detail = detail
+
+    def as_worker_error(self) -> WorkerError:
+        """The job-facing error: ``WorkerError`` chained to the death."""
+        cause = RuntimeError(str(self))
+        err = WorkerError(self.rank, cause)
+        err.__cause__ = cause  # chained like a raised `raise ... from`
+        return err
+
+
+# --------------------------------------------------------------------- #
+# Child process
+# --------------------------------------------------------------------- #
+
+
+def _execute_payload(payload: dict, token) -> object:
+    """Run one job payload; returns the reply message tuple."""
+    import repro.obs as obs
+    from repro.util.cancel import Cancelled
+
+    job_id = payload["job_id"]
+    trace = bool(payload.get("trace"))
+    capture_ctx = obs.capture() if trace else nullcontext()
+    try:
+        with capture_ctx as tracer:
+            if payload["kind"] == "solo":
+                results = [_run_solo(payload, token)]
+            else:
+                results = _run_group(payload, token)
+        if trace and tracer is not None:
+            results[0]["trace"] = obs.chrome_trace(tracer)
+            results[0]["counters"] = obs.counters_snapshot(tracer)
+    except Cancelled as exc:
+        return ("cancelled", job_id, exc.reason)
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        tb_text = traceback.format_exc()
+        try:
+            exc_bytes = pickle.dumps(exc)
+        except Exception:
+            exc_bytes = None
+        return ("failed", job_id, exc_bytes, repr(exc), tb_text)
+    if payload["kind"] == "solo":
+        return ("done", job_id, results[0])
+    return ("done-group", job_id, results)
+
+
+def _load_tensor(payload: dict):
+    from repro.tensor.dense import DenseTensor
+
+    if payload.get("ref") is not None:
+        from repro.io import load_tensor
+
+        return load_tensor(payload["ref"])
+    return DenseTensor(payload["data"], payload["shape"])
+
+
+def _run_solo(payload: dict, token) -> dict:
+    from repro.cpd.cp_als import cp_als
+
+    tensor = _load_tensor(payload)
+    res = cp_als(
+        tensor,
+        payload["rank"],
+        n_iter_max=payload["n_iter_max"],
+        tol=payload["tol"],
+        method=payload["method"],
+        num_threads=payload["num_threads"],
+        backend=payload["backend"],
+        rng=payload["seed"],
+        cancel=token,
+    )
+    model = res.model
+    return {
+        "weights": np.asarray(model.weights),
+        "factors": [np.asarray(f) for f in model.factors],
+        "fit": float(res.final_fit),
+        "iterations": int(res.iterations),
+        "converged": bool(res.converged),
+        "counters": {},
+        "trace": None,
+    }
+
+
+def _run_group(payload: dict, token) -> list[dict]:
+    from repro.batch.fleet import cp_als_fleet
+    from repro.tensor.dense import DenseTensor
+
+    shape = payload["shape"]
+    tensors = [DenseTensor(d, shape) for d in payload["datas"]]
+    res = cp_als_fleet(
+        tensors,
+        payload["rank"],
+        seeds=payload["seeds"],
+        n_iter_max=payload["n_iter_max"],
+        tol=payload["tol"],
+        num_threads=payload["num_threads"],
+        backend=payload["backend"],
+        cancel=token,
+    )
+    results = []
+    for b in range(len(tensors)):
+        model = res.model(b)
+        results.append({
+            "weights": np.asarray(model.weights),
+            "factors": [np.asarray(f) for f in model.factors],
+            "fit": float(res.fits[b]),
+            "iterations": int(res.iterations[b]),
+            "converged": bool(res.converged[b]),
+            "counters": {},
+            "trace": None,
+        })
+    return results
+
+
+def serve_worker_main(rank: int, conn) -> None:
+    """Child-process entry: message loop around a one-job-at-a-time thread."""
+    from repro.parallel.backend import reset_worker_runtime_state
+    from repro.util.cancel import CancelToken
+
+    # Service workers are intermediate processes: they run whole
+    # decompositions and may spawn their own executor teams, so the
+    # thread counts stay at the package defaults (a job's result must
+    # match a direct in-parent call bit-for-bit).
+    reset_worker_runtime_state(
+        num_threads=None, blas_threads=None, leaf_worker=False
+    )
+    send_lock = threading.Lock()
+
+    def send(msg) -> None:
+        payload = pickle.dumps(msg)
+        with send_lock:
+            conn.send_bytes(payload)
+
+    stop = False
+    while not stop:
+        try:
+            raw = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        msg = pickle.loads(raw)
+        if msg[0] == "stop":
+            break
+        if msg[0] != "job":  # stale cancel for a finished job
+            continue
+        payload = msg[1]
+        job_id = payload["job_id"]
+        remaining = payload.get("timeout_remaining")
+        token = CancelToken(
+            deadline=None if remaining is None else _clock() + remaining
+        )
+        every = int(payload.get("progress_every") or 0)
+        if every > 0:
+            def on_progress(it, fit, job_id=job_id, every=every):
+                if it % every == 0:
+                    send(("progress", job_id, int(it), float(fit)))
+
+            token.on_progress = on_progress
+
+        reply_box: list = []
+
+        def run(payload=payload, token=token, box=reply_box) -> None:
+            box.append(_execute_payload(payload, token))
+
+        thread = threading.Thread(
+            target=run, name=f"repro-serve-job-{job_id}", daemon=True
+        )
+        thread.start()
+        # Pump the pipe while the job runs so cancellation lands mid-run.
+        while thread.is_alive():
+            if conn.poll(0.02):
+                try:
+                    ctl = pickle.loads(conn.recv_bytes())
+                except (EOFError, OSError):
+                    ctl = ("stop",)
+                if ctl[0] == "stop":
+                    token.cancel("server shutdown")
+                    stop = True
+                elif ctl[0] == "cancel" and ctl[1] == job_id:
+                    token.cancel(ctl[2] if len(ctl) > 2 else "cancelled")
+        thread.join()
+        if reply_box:
+            try:
+                send(reply_box[0])
+            except (OSError, ValueError):  # parent went away
+                break
+
+
+# --------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------- #
+
+
+class WorkerHandle:
+    """Parent-side handle: spawn / message / detect death / respawn."""
+
+    def __init__(self, rank: int, ctx) -> None:
+        self.rank = rank
+        self._ctx = ctx
+        self._proc = None
+        self._conn = None
+        self.respawns = 0
+        # Dispatch (tender thread) and cancellation (client thread) both
+        # send; a Connection tolerates one concurrent sender only.
+        self._send_lock = threading.Lock()
+        self.spawn()
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def spawn(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=serve_worker_main,
+            args=(self.rank, child_conn),
+            name=f"repro-serve-worker-{self.rank}",
+            daemon=False,  # jobs may spawn process-backend teams
+        )
+        proc.start()
+        child_conn.close()
+        self._proc = proc
+        self._conn = parent_conn
+
+    def respawn(self) -> None:
+        """Replace a dead (or wedged) process with a fresh one."""
+        self._teardown(graceful=False)
+        self.respawns += 1
+        self.spawn()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._teardown(graceful=True, timeout=timeout)
+
+    def _teardown(self, graceful: bool, timeout: float = 2.0) -> None:
+        proc, conn = self._proc, self._conn
+        self._proc = self._conn = None
+        if conn is not None and graceful and proc is not None and proc.is_alive():
+            try:
+                conn.send_bytes(pickle.dumps(("stop",)))
+            except (OSError, ValueError):
+                pass
+        if proc is not None:
+            proc.join(timeout if graceful else 0.1)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+            if proc.is_alive():  # pragma: no cover - stuck in C code
+                proc.kill()
+                proc.join(1.0)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- messaging ------------------------------------------------------ #
+
+    @property
+    def pid(self) -> int | None:
+        return self._proc.pid if self._proc is not None else None
+
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.is_alive()
+
+    def send(self, msg) -> None:
+        """Ship a message; raises :class:`WorkerDied` on a broken pipe."""
+        conn = self._conn
+        if conn is None:
+            raise WorkerDied(self.rank, "no process")
+        try:
+            with self._send_lock:
+                conn.send_bytes(pickle.dumps(msg))
+        except (OSError, ValueError) as exc:
+            raise WorkerDied(self.rank, f"pipe send failed ({exc!r})") from None
+
+    def recv(self, timeout: float = 0.05):
+        """One message, or ``None`` on timeout; :class:`WorkerDied` on death.
+
+        Mirrors :meth:`ProcessExecutor._recv`: after the process exits, a
+        final drain attempt still returns a reply that raced the death.
+        """
+        conn, proc = self._conn, self._proc
+        if conn is None or proc is None:
+            raise WorkerDied(self.rank, "no process")
+        if not conn.poll(timeout):
+            if proc.is_alive():
+                return None
+            if not conn.poll(0):
+                raise WorkerDied(
+                    self.rank, f"exitcode={proc.exitcode}"
+                )
+        try:
+            return pickle.loads(conn.recv_bytes())
+        except (EOFError, OSError, ConnectionError) as exc:
+            raise WorkerDied(
+                self.rank,
+                f"channel closed mid-job ({exc!r}, exitcode={proc.exitcode})",
+            ) from None
+
+    def kill(self) -> None:
+        """Hard-kill the process (fault-injection hook; SIGKILL)."""
+        if self._proc is not None and self._proc.pid is not None:
+            try:
+                os.kill(self._proc.pid, 9)
+            except ProcessLookupError:  # pragma: no cover - already gone
+                pass

@@ -1,0 +1,133 @@
+"""Cooperative cancellation tokens for long-running decompositions.
+
+The iterative drivers (:func:`repro.cpd.cp_als.cp_als`,
+:func:`repro.batch.cp_als.cp_als_batched`) run an unbounded number of
+ALS iterations.  A service scheduling many such runs needs two things a
+plain function call cannot give it: the ability to *stop* a run that is
+no longer wanted, and a hard *deadline* after which a run must not keep
+burning a worker.  Both are cooperative by design — the paper's kernels
+are bit-reproducible and a kernel invocation is never interrupted
+mid-flight; instead the drivers poll a :class:`CancelToken` at iteration
+boundaries, so a cancelled run stops at the next boundary with all
+invariants intact (no torn factor updates, workspace still reusable).
+
+The token is thread-safe: it is typically *set* from a control thread
+(a server's pipe-listener) while the iteration loop polls it from the
+compute thread.
+
+>>> token = CancelToken()
+>>> token.cancel()
+>>> token.cancelled
+True
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CancelToken", "Cancelled", "DeadlineExceeded"]
+
+
+class Cancelled(RuntimeError):
+    """Raised at an iteration boundary after :meth:`CancelToken.cancel`.
+
+    ``reason`` is the free-form string passed to ``cancel()`` (default
+    ``"cancelled"``); services use it to distinguish user cancellation
+    from shutdown-driven sweeps.
+    """
+
+    def __init__(self, reason: str = "cancelled") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class DeadlineExceeded(Cancelled):
+    """Raised at an iteration boundary once the token's deadline passed."""
+
+    def __init__(self, deadline: float) -> None:
+        super().__init__("deadline exceeded")
+        self.deadline = deadline
+
+
+class CancelToken:
+    """A cancellation flag plus optional wall-clock deadline.
+
+    Parameters
+    ----------
+    deadline:
+        Absolute :func:`time.monotonic` instant after which
+        :meth:`raise_if_cancelled` raises :class:`DeadlineExceeded`, or
+        ``None`` for no deadline.  Use :meth:`with_timeout` to build a
+        token from a relative budget.
+    on_progress:
+        Optional callable ``(iteration, fit)`` invoked by the drivers at
+        every iteration boundary *before* the cancellation check — the
+        hook a service uses to stream progress without polling.  Must be
+        cheap and must not raise (exceptions propagate out of the run).
+    """
+
+    __slots__ = ("_event", "_reason", "deadline", "on_progress")
+
+    def __init__(self, deadline: float | None = None, on_progress=None) -> None:
+        self._event = threading.Event()
+        self._reason = "cancelled"
+        self.deadline = float(deadline) if deadline is not None else None
+        self.on_progress = on_progress
+
+    @classmethod
+    def with_timeout(cls, seconds: float, on_progress=None) -> "CancelToken":
+        """Token whose deadline is ``seconds`` from now (monotonic)."""
+        return cls(deadline=time.monotonic() + float(seconds),
+                   on_progress=on_progress)
+
+    # -- control side --------------------------------------------------- #
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cancellation (idempotent; first reason wins)."""
+        if not self._event.is_set():
+            self._reason = str(reason)
+            self._event.set()
+
+    # -- compute side --------------------------------------------------- #
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called (deadline not included)."""
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> str:
+        return self._reason
+
+    def expired(self) -> bool:
+        """Whether the deadline (if any) has passed."""
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (may be negative), or ``None``."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def raise_if_cancelled(self) -> None:
+        """Raise :class:`Cancelled` / :class:`DeadlineExceeded` if due.
+
+        The drivers call this at every iteration boundary; anything with
+        a loop of its own (admission-queue waits, microbenchmark sweeps)
+        may do the same.
+        """
+        if self._event.is_set():
+            raise Cancelled(self._reason)
+        if self.expired():
+            raise DeadlineExceeded(self.deadline)
+
+    def checkpoint(self, iteration: int, fit: float) -> None:
+        """One driver-side boundary: report progress, then maybe raise."""
+        if self.on_progress is not None:
+            self.on_progress(iteration, fit)
+        self.raise_if_cancelled()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "live"
+        return f"CancelToken({state}, deadline={self.deadline})"
